@@ -1,0 +1,67 @@
+"""E-OVER — ablations: embedding overhead and the rebuild-work budget.
+
+Two design questions DESIGN.md calls out:
+
+* how much does wrapping an algorithm in the embedding cost when the fast
+  algorithm alone would have been fine? (overhead of ``F ⊳ R`` vs ``F``);
+* how does the ``Θ(E_R)`` rebuild-work budget (the ``rebuild_work_factor``)
+  affect the balance between buffer occupancy and per-operation cost —
+  footnote 3 of the paper explains why the budget must be a fixed Θ(E_R)
+  rather than matched to R's realized cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, measure
+from repro.algorithms import ClassicalPMA, DeamortizedPMA
+from repro.analysis import run_workload
+from repro.core import Embedding
+from repro.workloads import RandomWorkload
+
+
+def test_embedding_overhead_and_work_budget(run_once):
+    n = 1024
+
+    def experiment():
+        rows = [
+            measure("classical alone", ClassicalPMA(n), RandomWorkload(n, n, seed=3)),
+            measure(
+                "classical ⊳ deamortized (work_factor=1)",
+                Embedding(
+                    n,
+                    fast_factory=lambda cap, slots: ClassicalPMA(cap, slots),
+                    reliable_factory=lambda cap, slots: DeamortizedPMA(cap, slots),
+                ),
+                RandomWorkload(n, n, seed=3),
+            ),
+        ]
+        budget_rows = []
+        for factor in (0.5, 1.0, 2.0, 4.0):
+            embedding = Embedding(
+                n,
+                fast_factory=lambda cap, slots: ClassicalPMA(cap, slots),
+                reliable_factory=lambda cap, slots: DeamortizedPMA(cap, slots),
+                rebuild_work_factor=factor,
+            )
+            run = run_workload(embedding, RandomWorkload(n, n, seed=3))
+            budget_rows.append(
+                {
+                    "rebuild_work_factor": factor,
+                    "amortized": run.amortized_cost,
+                    "worst_case": run.worst_case_cost,
+                    "peak buffered": embedding.max_buffered_elements,
+                    "rebuilds": embedding.emulator.rebuilds_completed,
+                }
+            )
+        return rows, budget_rows
+
+    rows, budget_rows = run_once(experiment)
+    emit("E-OVER (a): embedding overhead vs running F alone, n = %d" % n, rows,
+         note="Expected shape: the embedding pays a constant-factor overhead "
+         "in amortized cost in exchange for the bounded worst case.")
+    emit("E-OVER (b): effect of the Θ(E_R) rebuild-work budget", budget_rows,
+         note="Expected shape: larger budgets drain the buffer faster (lower "
+         "peak occupancy) at a slightly higher per-operation cost.")
+    alone, embedded = rows
+    assert embedded["amortized"] < 6 * alone["amortized"] + 5
+    assert budget_rows[-1]["peak buffered"] <= budget_rows[0]["peak buffered"]

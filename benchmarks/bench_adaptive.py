@@ -1,0 +1,40 @@
+"""E-ADAPT — the adaptive PMA's log-factor advantage on hammer workloads."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.algorithms import AdaptivePMA, ClassicalPMA
+from repro.analysis import estimate_log_exponent, run_workload
+from repro.workloads import HammerWorkload
+
+
+def test_adaptive_advantage_grows_with_n(run_once):
+    sizes = [256, 512, 1024, 2048, 4096]
+
+    def experiment():
+        rows = []
+        for n in sizes:
+            adaptive = run_workload(AdaptivePMA(n), HammerWorkload(n, seed=7))
+            classical = run_workload(ClassicalPMA(n), HammerWorkload(n, seed=7))
+            rows.append(
+                {
+                    "n": n,
+                    "adaptive amortized": adaptive.amortized_cost,
+                    "classical amortized": classical.amortized_cost,
+                    "ratio": classical.amortized_cost / max(adaptive.amortized_cost, 1e-9),
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    adaptive_exp = estimate_log_exponent(sizes, [r["adaptive amortized"] for r in rows])
+    classical_exp = estimate_log_exponent(sizes, [r["classical amortized"] for r in rows])
+    emit(
+        "E-ADAPT: hammer-insert amortized cost vs n",
+        rows,
+        note=f"Fitted log-exponents: adaptive ≈ {adaptive_exp:.2f}, classical ≈ "
+        f"{classical_exp:.2f}.  Expected shape: the ratio grows with n and the "
+        "classical exponent exceeds the adaptive one (log² n vs ~log n).",
+    )
+    assert rows[-1]["ratio"] > 1.5
+    assert classical_exp > adaptive_exp

@@ -1,0 +1,33 @@
+"""E-BASE — baseline cost profiles of every substrate algorithm.
+
+Reproduces the landscape Section 1 of the paper describes: the 1981
+classical PMA at amortized ``O(log² n)``, the naive baseline at ``Θ(n)``,
+and the adaptive / randomized / deamortized variants in between.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BASE_FACTORIES, DEFAULT_N, emit, measure
+from repro.workloads import RandomWorkload
+
+
+def test_baseline_costs_uniform_random(run_once):
+    n = DEFAULT_N
+
+    def experiment():
+        rows = []
+        for name, factory in BASE_FACTORIES.items():
+            workload = RandomWorkload(n, n, seed=11)
+            rows.append(measure(name, factory(n), workload))
+        return rows
+
+    rows = run_once(experiment)
+    emit(
+        "E-BASE: uniform-random insertions, n = %d" % n,
+        rows,
+        note="Expected shape: naive >> classical ~ randomized ~ adaptive; "
+        "deamortized has the smallest worst_case column.",
+    )
+    by_name = {row["structure"]: row for row in rows}
+    assert by_name["classical-pma"]["amortized"] < by_name["naive"]["amortized"] / 5
+    assert by_name["deamortized-pma"]["worst_case"] < by_name["classical-pma"]["worst_case"]

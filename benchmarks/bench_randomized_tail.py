@@ -1,0 +1,47 @@
+"""E-EXP / E-TAIL — expected cost vs tail behaviour of the randomized labeler.
+
+The randomized PMA (the stand-in for the O(log^{3/2} n) algorithm) has good
+average cost but heavy per-operation tails; the deamortized PMA caps the tail
+by construction.  This is the tension Section 1 describes — and the reason
+the paper needs the layered embedding to get both at once.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DEFAULT_N, emit
+from repro.algorithms import DeamortizedPMA, RandomizedPMA
+from repro.analysis import run_workload
+from repro.workloads import RandomWorkload
+
+
+def test_randomized_average_vs_tail(run_once):
+    n = DEFAULT_N
+
+    def experiment():
+        randomized = run_workload(RandomizedPMA(n, seed=31), RandomWorkload(n, n, seed=31))
+        deamortized = run_workload(DeamortizedPMA(n), RandomWorkload(n, n, seed=31))
+        rows = []
+        for name, run in (("randomized-pma (Y)", randomized), ("deamortized-pma (Z)", deamortized)):
+            rows.append(
+                {
+                    "structure": name,
+                    "amortized": run.amortized_cost,
+                    "p50": run.tracker.percentile(0.5),
+                    "p99": run.tracker.percentile(0.99),
+                    "worst_case": run.worst_case_cost,
+                    "fraction ≥ 4·mean": run.tracker.tail_fraction(
+                        int(4 * run.amortized_cost) + 1
+                    ),
+                }
+            )
+        return rows
+
+    rows = run_once(experiment)
+    emit(
+        "E-TAIL: expected cost vs per-operation tails, n = %d" % n,
+        rows,
+        note="Expected shape: comparable amortized cost, but the randomized "
+        "labeler's worst_case/p99 far exceeds the deamortized labeler's cap.",
+    )
+    randomized, deamortized = rows
+    assert randomized["worst_case"] > deamortized["worst_case"]

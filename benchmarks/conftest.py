@@ -1,0 +1,74 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one experiment of DESIGN.md / EXPERIMENTS.md:
+it runs the relevant workloads through the relevant structures via
+``pytest-benchmark`` (one round — the measured quantity of interest is the
+paper's cost metric, element moves, not wall-clock time) and prints the
+comparison table whose *shape* reproduces the paper's claim.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import (
+    AdaptivePMA,
+    ClassicalPMA,
+    DeamortizedPMA,
+    NaiveLabeler,
+    RandomizedPMA,
+)
+from repro.analysis import format_table, run_workload
+
+#: Problem size used by most experiments; large enough for the asymptotic
+#: shapes to show, small enough for a pure-Python run to stay quick.
+DEFAULT_N = 2048
+
+#: Standalone algorithm factories reused across experiments.
+BASE_FACTORIES = {
+    "naive": lambda n: NaiveLabeler(n),
+    "classical-pma": lambda n: ClassicalPMA(n),
+    "adaptive-pma": lambda n: AdaptivePMA(n),
+    "randomized-pma": lambda n: RandomizedPMA(n, seed=97),
+    "deamortized-pma": lambda n: DeamortizedPMA(n),
+}
+
+
+def log2(n: int) -> float:
+    return math.log2(max(2, n))
+
+
+def measure(name: str, labeler, workload) -> dict[str, object]:
+    """Run one (structure, workload) pair and return a report row."""
+    result = run_workload(labeler, workload)
+    return {
+        "structure": name,
+        "workload": workload.name,
+        "operations": result.tracker.operations,
+        "amortized": result.amortized_cost,
+        "worst_case": result.worst_case_cost,
+        "p99": result.tracker.percentile(0.99),
+        "total": result.total_cost,
+    }
+
+
+def emit(title: str, rows: list[dict[str, object]], note: str = "") -> None:
+    """Print an experiment table (captured by ``pytest -s`` / tee)."""
+    print()
+    print(format_table(rows, title=title))
+    if note:
+        print(note)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark."""
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

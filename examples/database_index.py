@@ -1,0 +1,81 @@
+"""A clustered database index backed by the layered list-labeling structure.
+
+The scenario the paper's introduction motivates: a database needs good
+throughput, good response time (no huge stalls), and must handle common
+patterns such as bulk loads — three properties no single classical
+list-labeling algorithm offers at once.  This example builds a tiny ordered
+key-value index on top of ``X ⊳ (Y ⊳ Z)`` and runs a mixed OLTP-ish workload
+(bulk load, point inserts, range scan, deletes), reporting the cost profile.
+
+Run with ``python examples/database_index.py``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro import make_corollary11_labeler
+from repro.core import CostTracker
+
+
+class OrderedIndex:
+    """A minimal ordered index: keys kept sorted in a packed-memory layout."""
+
+    def __init__(self, capacity: int) -> None:
+        self._labeler = make_corollary11_labeler(capacity, seed=7)
+        self._keys: list[int] = []  # mirror of the key order, for rank lookups
+        self.costs = CostTracker()
+
+    def insert(self, key: int) -> None:
+        rank = bisect.bisect_left(self._keys, key) + 1
+        result = self._labeler.insert(rank, key)
+        self._keys.insert(rank - 1, key)
+        self.costs.record(result.cost)
+
+    def delete(self, key: int) -> None:
+        rank = bisect.bisect_left(self._keys, key) + 1
+        result = self._labeler.delete(rank)
+        self._keys.pop(rank - 1)
+        self.costs.record(result.cost)
+
+    def range_scan(self, low: int, high: int) -> list[int]:
+        """Scan keys in [low, high] straight off the physical array."""
+        return [key for key in self._labeler.elements() if low <= key <= high]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+
+def main() -> None:
+    rng = random.Random(2024)
+    index = OrderedIndex(capacity=4_000)
+
+    # Phase 1: bulk load a sorted partition (the friendly case).
+    for key in range(0, 2_000, 2):
+        index.insert(key)
+    bulk_amortized = index.costs.amortized
+
+    # Phase 2: OLTP churn — random point inserts and deletes.
+    for _ in range(1_500):
+        if rng.random() < 0.3 and len(index) > 100:
+            index.delete(rng.choice(index._keys))
+        else:
+            index.insert(rng.randrange(0, 4_000_000))
+
+    # Phase 3: a hot-spot burst (e.g. an auto-increment secondary key).
+    for key in range(5_000_000, 5_000_400):
+        index.insert(key)
+
+    print("database index demo — layered list labeling as the storage layout")
+    print(f"  keys stored                 : {len(index)}")
+    print(f"  amortized cost after bulk   : {bulk_amortized:.2f} moves/op")
+    print(f"  amortized cost overall      : {index.costs.amortized:.2f} moves/op")
+    print(f"  worst single operation      : {index.costs.worst_case} moves")
+    print(f"  p99 operation cost          : {index.costs.percentile(0.99)} moves")
+    sample = index.range_scan(0, 50)
+    print(f"  range scan [0, 50]          : {sample}")
+
+
+if __name__ == "__main__":
+    main()

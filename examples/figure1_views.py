@@ -1,0 +1,49 @@
+"""Figure 1: the three views of the embedding's array, rendered live.
+
+Upper-case letters mark slots occupied by real elements; lower-case letters
+mark free slots of the same kind (``F``/``f`` = F-emulator slot, ``B``/``b``
+= buffer slot, ``.`` = R-empty slot).  The second line shows what the
+F-emulator sees (only the F-slots) and the third what the R-shell sees
+(every F-slot and buffer slot looks occupied, only ``.`` looks free).
+
+Run with ``python examples/figure1_views.py``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro import ClassicalPMA, Embedding, NaiveLabeler
+
+
+def main() -> None:
+    embedding = Embedding(
+        capacity=17,
+        fast_factory=lambda cap, slots: NaiveLabeler(cap, slots),
+        reliable_factory=lambda cap, slots: ClassicalPMA(cap, slots),
+        reliable_expected_cost=3,
+        epsilon=0.3,
+    )
+    # Front-load insertions so that some land on the slow path and end up in
+    # buffer slots, exactly like the green occupied slots of Figure 1.
+    key = Fraction(0)
+    for _ in range(14):
+        embedding.insert(1, key)
+        key -= 1
+
+    views = embedding.render_views()
+    print("Figure 1 — three views of the same array")
+    print()
+    print("view of F ⊳ R      :", views["embedding"])
+    print("view of F-emulator :", views["f_emulator"])
+    print("view of R-shell    :", views["r_shell"])
+    print()
+    print(f"F-slots: {embedding.f_slot_count}   "
+          f"buffer slots: {embedding.physical.buffer_count} "
+          f"({embedding.buffered_elements} occupied)   "
+          f"R-empty slots: {embedding.num_slots - embedding.f_slot_count - embedding.physical.buffer_count}")
+    print(f"fast-path ops: {embedding.fast_operations}   slow-path ops: {embedding.slow_operations}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Figure 2: a deadweight move, traced on a tiny hand-built array.
+
+An F-emulator element hops into the next free F-slot; the buffered elements
+sitting in between are shifted (the *deadweight moves*) and the slot kinds
+are relabelled so the R-shell's view never changes.
+
+Run with ``python examples/figure2_deadweight.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.physical import BUFFER, F_SLOT, R_EMPTY, PhysicalArray
+
+
+def render(array: PhysicalArray) -> str:
+    symbols = []
+    for position in range(array.num_slots):
+        kind = array.kind(position)
+        element = array.element(position)
+        if kind == R_EMPTY:
+            symbols.append(" . ")
+        elif kind == F_SLOT:
+            symbols.append(f"[{element if element is not None else ' '}]")
+        else:
+            symbols.append(f"({element if element is not None else ' '})")
+    return "".join(symbols)
+
+
+def main() -> None:
+    # Build the Figure 2 scenario: element x in an F-slot, a run of buffer
+    # slots (some holding buffered elements, some dummies), then a free F-slot.
+    layout = "f bbbb . b f".replace(" ", "")
+    array = PhysicalArray(len(layout))
+    kinds = {"f": F_SLOT, "b": BUFFER, ".": R_EMPTY}
+    array.initialize_kinds((i, kinds[c]) for i, c in enumerate(layout))
+    array.put_element(0, "x")
+    for position, name in [(1, "r1"), (2, "r2"), (4, "r3"), (6, "r4")]:
+        array.put_element(position, name)
+
+    print("Figure 2 — moving x into the next free F-slot")
+    print("  [e] = F-slot, (e) = buffer slot, . = R-empty")
+    print()
+    print("before:", render(array))
+    cost = array.chain_move(0, 1)  # move x to F-index 1 (the free F-slot)
+    print("after :", render(array))
+    print()
+    print(f"cost of the move     : {cost} (1 for x + {cost - 1} deadweight moves)")
+    print(f"deadweight by element: {dict(array.deadweight_by_element)}")
+    print("From the F-emulator's view x simply moved into the free slot; from the")
+    print("R-shell's view nothing happened at all (the occupied set is unchanged).")
+
+
+if __name__ == "__main__":
+    main()

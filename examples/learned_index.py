@@ -1,0 +1,54 @@
+"""Learning-augmented bulk ingestion (Corollary 12).
+
+A learned model predicts where each incoming key will land in the final
+sorted order (e.g. a CDF model trained on yesterday's data).  With good
+predictions the learned labeler ingests at ~1 move per key; with a stale or
+broken model the layered composition of Corollary 12 caps the damage at the
+prediction-free bounds.
+
+Run with ``python examples/learned_index.py``.
+"""
+
+from __future__ import annotations
+
+from repro import LearnedLabeler, make_corollary12_labeler
+from repro.analysis import run_workload
+from repro.workloads import PredictedWorkload
+
+
+def ingest(eta: int, n: int = 2_000) -> dict[str, float]:
+    workload = PredictedWorkload(n, eta=eta, seed=13)
+    learned_alone = run_workload(
+        LearnedLabeler(n, predictor=workload.predictor), workload
+    )
+    layered = run_workload(
+        make_corollary12_labeler(n, workload.predictor, seed=13), workload
+    )
+    return {
+        "eta": eta,
+        "learned amortized": learned_alone.amortized_cost,
+        "learned worst": learned_alone.worst_case_cost,
+        "layered amortized": layered.amortized_cost,
+        "layered worst": layered.worst_case_cost,
+    }
+
+
+def main() -> None:
+    print("learning-augmented ingestion (Corollary 12)")
+    print(f"{'eta':>8} {'learned amort':>14} {'learned worst':>14} "
+          f"{'layered amort':>14} {'layered worst':>14}")
+    for eta in (0, 8, 64, 512, 2_000):
+        row = ingest(eta)
+        print(
+            f"{row['eta']:>8} {row['learned amortized']:>14.2f} "
+            f"{row['learned worst']:>14.0f} {row['layered amortized']:>14.2f} "
+            f"{row['layered worst']:>14.0f}"
+        )
+    print()
+    print("Good predictions (small eta) ingest at ~1 move per key; as eta grows")
+    print("the cost degrades toward the classical O(log^2 n) behaviour, while the")
+    print("layered structure keeps the worst single operation bounded throughout.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — Layered List Labeling (PODS 2024) in Python.
+
+A production-quality reproduction of *Layered List Labeling* (Bender,
+Conway, Farach-Colton, Komlós, Kuszmaul; PODS 2024).  The package provides:
+
+* the classical, adaptive, randomized, deamortized and learning-augmented
+  packed-memory-array algorithms the paper composes
+  (:mod:`repro.algorithms`);
+* the paper's contribution — the embedding ``F ⊳ R`` of a fast list-labeling
+  algorithm into a reliable one, and its layered composition
+  ``X ⊳ (Y ⊳ Z)`` (:mod:`repro.core`);
+* workload generators and a measurement layer used to reproduce every
+  theorem/corollary of the paper as an empirical experiment
+  (:mod:`repro.workloads`, :mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import Embedding, AdaptivePMA, ClassicalPMA
+
+    labeler = Embedding(
+        1024,
+        fast_factory=lambda cap, slots: AdaptivePMA(cap, slots),
+        reliable_factory=lambda cap, slots: ClassicalPMA(cap, slots),
+    )
+    labeler.insert(1, "first-key")
+    labeler.insert(2, "second-key")
+"""
+
+from repro.core import (
+    CostTracker,
+    Embedding,
+    InterleavedComposition,
+    LayeredLabeler,
+    ListLabeler,
+    Move,
+    Operation,
+    OperationResult,
+    make_corollary11_labeler,
+    make_corollary12_labeler,
+)
+from repro.algorithms import (
+    AdaptivePMA,
+    ClassicalPMA,
+    DeamortizedPMA,
+    ExactPredictor,
+    LearnedLabeler,
+    NaiveLabeler,
+    NoisyPredictor,
+    RandomizedPMA,
+    SparseNaiveLabeler,
+    StalePredictor,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivePMA",
+    "ClassicalPMA",
+    "CostTracker",
+    "DeamortizedPMA",
+    "Embedding",
+    "ExactPredictor",
+    "InterleavedComposition",
+    "LayeredLabeler",
+    "LearnedLabeler",
+    "ListLabeler",
+    "Move",
+    "NaiveLabeler",
+    "NoisyPredictor",
+    "Operation",
+    "OperationResult",
+    "RandomizedPMA",
+    "SparseNaiveLabeler",
+    "StalePredictor",
+    "make_corollary11_labeler",
+    "make_corollary12_labeler",
+    "__version__",
+]

@@ -1,0 +1,220 @@
+"""Shared machinery for array-based list-labeling algorithms.
+
+:class:`DenseArrayLabeler` owns the physical slot array, an occupancy
+Fenwick tree for ``O(log m)`` rank/select queries, and a per-operation move
+recorder.  Concrete algorithms (the naive labeler, the PMA family) only
+implement placement and rebalancing policy on top of the primitive
+:meth:`_move`, :meth:`_place` and :meth:`_remove` operations, which keep the
+occupancy index consistent and the move log accurate.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.core.fenwick import FenwickTree
+from repro.core.interface import ListLabeler
+from repro.core.operations import Move, Operation, OperationResult
+
+
+class DenseArrayLabeler(ListLabeler):
+    """Base class for labelers storing elements directly in a slot list."""
+
+    def __init__(self, capacity: int, num_slots: int | None = None) -> None:
+        super().__init__(capacity, num_slots)
+        self._slots: list[Hashable | None] = [None] * self.num_slots
+        self._occupancy = FenwickTree(self.num_slots)
+        self._position: dict[Hashable, int] = {}
+        self._current_moves: list[Move] | None = None
+
+    # ------------------------------------------------------------------
+    # Physical state
+    # ------------------------------------------------------------------
+    def slots(self) -> Sequence[Hashable | None]:
+        return tuple(self._slots)
+
+    def raw_slots(self) -> list[Hashable | None]:
+        """Mutable view for subclasses; callers must not modify it."""
+        return self._slots
+
+    def occupied_in(self, lo: int, hi: int) -> int:
+        """Number of occupied slots in ``[lo, hi)``."""
+        return self._occupancy.count(lo, hi)
+
+    def slot_of_rank(self, rank: int) -> int:
+        """Physical slot of the element with the given 1-based rank."""
+        return self._occupancy.select(rank)
+
+    def slot_of(self, element: Hashable) -> int:
+        """Physical slot currently holding ``element`` (``O(1)``)."""
+        try:
+            return self._position[element]
+        except KeyError:
+            raise KeyError(f"element {element!r} is not stored") from None
+
+    def contains(self, element: Hashable) -> bool:
+        """Whether ``element`` is currently stored."""
+        return element in self._position
+
+    def rank_at_slot(self, index: int) -> int:
+        """1-based rank of the element stored at ``index``."""
+        return self._occupancy.rank_of(index)
+
+    def free_slot_left(self, index: int) -> int | None:
+        """Nearest free slot at or to the left of ``index`` (or ``None``)."""
+        if self._occupancy.count(0, index + 1) == index + 1:
+            return None
+        # Smallest q such that [q, index] is fully occupied; q - 1 is free.
+        lo, hi = 0, index + 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._occupancy.count(mid, index + 1) == index + 1 - mid:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo - 1
+
+    def free_slot_right(self, index: int) -> int | None:
+        """Nearest free slot at or to the right of ``index`` (or ``None``)."""
+        m = self.num_slots
+        if self._occupancy.count(index, m) == m - index:
+            return None
+        # Largest q such that [index, q) is fully occupied; q is free.
+        lo, hi = index, m
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._occupancy.count(index, mid) == mid - index:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    # ------------------------------------------------------------------
+    # Move-recorded primitives
+    # ------------------------------------------------------------------
+    def _begin(self, operation: Operation) -> OperationResult:
+        result = OperationResult(operation)
+        self._current_moves = result.moves
+        return result
+
+    def _finish(self) -> None:
+        self._current_moves = None
+
+    def _record(self, move: Move) -> None:
+        if self._current_moves is not None:
+            self._current_moves.append(move)
+
+    def _place(self, index: int, element: Hashable) -> None:
+        """Place a brand-new element into a free slot."""
+        if self._slots[index] is not None:
+            raise RuntimeError(f"slot {index} is occupied; cannot place {element!r}")
+        self._slots[index] = element
+        self._occupancy.set(index, 1)
+        self._position[element] = index
+        self._record(Move(element, None, index))
+
+    def _remove(self, index: int) -> Hashable:
+        """Remove and return the element stored at ``index``."""
+        element = self._slots[index]
+        if element is None:
+            raise RuntimeError(f"slot {index} is empty; nothing to remove")
+        self._slots[index] = None
+        self._occupancy.set(index, 0)
+        del self._position[element]
+        self._record(Move(element, index, None))
+        return element
+
+    def _move(self, src: int, dst: int) -> None:
+        """Move the element at ``src`` into the free slot ``dst``."""
+        if src == dst:
+            return
+        element = self._slots[src]
+        if element is None:
+            raise RuntimeError(f"slot {src} is empty; nothing to move")
+        if self._slots[dst] is not None:
+            raise RuntimeError(f"slot {dst} is occupied; cannot move into it")
+        self._slots[src] = None
+        self._slots[dst] = element
+        self._occupancy.set(src, 0)
+        self._occupancy.set(dst, 1)
+        self._position[element] = dst
+        self._record(Move(element, src, dst))
+
+    # ------------------------------------------------------------------
+    # Common manoeuvres
+    # ------------------------------------------------------------------
+    def _shift_gap_to(self, gap: int, target: int) -> None:
+        """Shift the free slot at ``gap`` until it sits at ``target``.
+
+        Elements between the two positions each move by one slot; this is the
+        classic make-room-by-shifting primitive and costs ``|gap - target|``
+        minus the number of free slots encountered on the way.
+        """
+        if gap == target:
+            return
+        step = 1 if target > gap else -1
+        position = gap
+        while position != target:
+            neighbour = position + step
+            if self._slots[neighbour] is None:
+                position = neighbour
+                continue
+            self._move(neighbour, position)
+            position = neighbour
+
+    def _redistribute(self, lo: int, hi: int, contents: list[Hashable], targets: list[int]) -> None:
+        """Rewrite ``[lo, hi)`` so ``contents[i]`` ends up at ``targets[i]``.
+
+        ``contents`` must be the occupied elements of the window in order and
+        ``targets`` an increasing list of slots inside the window.  The
+        rewrite is executed as two monotone passes (left-movers left-to-right
+        then right-movers right-to-left) so the array is valid after every
+        individual move.
+        """
+        if len(contents) != len(targets):
+            raise ValueError("contents and targets must have equal length")
+        positions = []
+        cursor = lo
+        for element in contents:
+            while self._slots[cursor] != element:
+                cursor += 1
+            positions.append(cursor)
+            cursor += 1
+        # Left-moving elements, in left-to-right order.
+        for element, src, dst in zip(contents, positions, targets):
+            if dst < src:
+                self._move(src, dst)
+        # Right-moving elements, in right-to-left order.
+        for element, src, dst in reversed(list(zip(contents, positions, targets))):
+            if dst > src:
+                self._move(src, dst)
+
+    def bulk_load(self, elements) -> int:
+        """Load sorted ``elements`` into an empty array with even spacing.
+
+        Costs one placement per element (the minimum possible) and leaves the
+        structure in the evenly-spread state a freshly rebalanced array would
+        have — the natural starting point for the embedding's R-shell.
+        """
+        elements = list(elements)
+        if self.size:
+            raise RuntimeError("bulk_load requires an empty structure")
+        if len(elements) > self.capacity:
+            raise ValueError("bulk_load exceeds the structure's capacity")
+        targets = self.even_targets(0, self.num_slots, len(elements))
+        for element, target in zip(elements, targets):
+            self._slots[target] = element
+            self._occupancy.set(target, 1)
+            self._position[element] = target
+        self._size = len(elements)
+        return len(elements)
+
+    @staticmethod
+    def even_targets(lo: int, hi: int, count: int) -> list[int]:
+        """Evenly spaced target slots for ``count`` elements in ``[lo, hi)``."""
+        width = hi - lo
+        if count > width:
+            raise ValueError("cannot place more elements than slots")
+        if count == 0:
+            return []
+        return [lo + (i * width) // count for i in range(count)]

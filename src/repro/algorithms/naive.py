@@ -1,0 +1,100 @@
+"""Naive baselines: shift-to-fit list labeling.
+
+:class:`NaiveLabeler` keeps all elements packed at the front of the array and
+shifts a suffix by one slot on every insertion/deletion; its cost is
+``Θ(n - r)`` per operation — the textbook strawman every PMA improves on and
+a convenient "arbitrarily bad fast algorithm" to stress the General-Cost
+guarantee of Theorem 2 (experiment E-GEN).
+
+:class:`SparseNaiveLabeler` spreads elements evenly but rebuilds the whole
+array whenever the local neighbourhood of an insertion is full — a slightly
+less pessimal baseline whose worst case is still ``Θ(n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.algorithms.base import DenseArrayLabeler
+from repro.core.operations import Operation, OperationResult
+
+
+class NaiveLabeler(DenseArrayLabeler):
+    """Left-packed array with suffix shifting.
+
+    Insertion at rank ``r`` moves every element of rank ``>= r`` one slot to
+    the right (cost ``size - r + 2`` including the placement); deletion moves
+    the suffix back.  Amortized and worst-case costs are both ``Θ(n)`` for
+    adversarial (front-loaded) inputs and ``O(1)`` for append-only inputs.
+    """
+
+    #: The naive labeler does not need slack, but keep one extra slot so the
+    #: structure is a legal list-labeling array of size ``(1 + Θ(1))n``.
+    default_slack = 0.05
+
+    def _insert(self, rank: int, element: Hashable) -> OperationResult:
+        result = self._begin(Operation.insert(rank))
+        index = rank - 1  # elements occupy slots [0, size)
+        # Shift the suffix right by one, right-to-left.
+        for position in range(self.size - 1, index - 1, -1):
+            self._move(position, position + 1)
+        self._place(index, element)
+        self._finish()
+        return result
+
+    def _delete(self, rank: int) -> OperationResult:
+        result = self._begin(Operation.delete(rank))
+        index = rank - 1
+        self._remove(index)
+        for position in range(index + 1, self.size):
+            self._move(position, position - 1)
+        self._finish()
+        return result
+
+
+class SparseNaiveLabeler(DenseArrayLabeler):
+    """Evenly spread array with full rebuilds when a neighbourhood is packed.
+
+    Insertions go to a free slot adjacent to the predecessor when one exists
+    (cost ``O(1)``); otherwise the entire array is rebuilt with even spacing
+    (cost ``Θ(n)``).  This mimics the behaviour of naive database page
+    layouts that periodically reorganize the whole file.
+    """
+
+    default_slack = 0.5
+
+    def _insert(self, rank: int, element: Hashable) -> OperationResult:
+        result = self._begin(Operation.insert(rank))
+        target = self._insertion_gap(rank)
+        if target is None:
+            self._rebuild_with(rank, element)
+        else:
+            self._place(target, element)
+        self._finish()
+        return result
+
+    def _delete(self, rank: int) -> OperationResult:
+        result = self._begin(Operation.delete(rank))
+        self._remove(self.slot_of_rank(rank))
+        self._finish()
+        return result
+
+    # ------------------------------------------------------------------
+    def _insertion_gap(self, rank: int) -> int | None:
+        """A free slot between the rank's neighbours, if one exists."""
+        left = self.slot_of_rank(rank - 1) if rank > 1 else -1
+        right = self.slot_of_rank(rank) if rank <= self.size else self.num_slots
+        if right - left > 1:
+            # Any slot strictly between the neighbours keeps sorted order.
+            return left + 1 + (right - left - 1) // 2
+        return None
+
+    def _rebuild_with(self, rank: int, element: Hashable) -> None:
+        """Rebuild the array evenly with ``element`` inserted at ``rank``."""
+        contents = self.elements()
+        contents.insert(rank - 1, element)
+        while self.size > 0 and self._occupancy.total > 0:
+            self._remove(self.slot_of_rank(1))
+        targets = self.even_targets(0, self.num_slots, len(contents))
+        for item, target in zip(contents, targets):
+            self._place(target, item)

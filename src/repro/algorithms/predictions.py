@@ -1,0 +1,121 @@
+"""Rank predictors for learning-augmented list labeling (Corollary 12).
+
+Corollary 12 considers an insertion-only sequence ``x₁ … x_n`` together with
+a *rank predictor* ``P`` mapping each element to a guess of its final rank,
+and measures the predictor by its maximum error
+``η = max_i |π(i) − P(x_i)|``.  The predictors in this module produce such
+guesses for the integer-keyed elements used throughout the library:
+
+* :class:`ExactPredictor` — error 0 (knows the final sorted order);
+* :class:`NoisyPredictor` — exact rank perturbed by a deterministic
+  pseudo-random offset bounded by ``eta``;
+* :class:`StalePredictor` — predictions computed from an outdated snapshot
+  of the key set, the way a stale machine-learning model would behave.
+
+All predictors are deterministic functions of their construction arguments,
+so experiments are reproducible and the predictor cannot leak the data
+structure's random bits back into the input (cf. Lemma 4).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, Iterable, Protocol, Sequence
+
+
+class RankPredictor(Protocol):
+    """Protocol implemented by every rank predictor."""
+
+    def predict(self, element: Hashable) -> int:
+        """Predicted final rank (1-based) of ``element``."""
+        ...  # pragma: no cover - protocol definition
+
+
+def _stable_noise(element: Hashable, salt: int) -> float:
+    """Deterministic pseudo-random value in [0, 1) derived from ``element``."""
+    digest = hashlib.blake2b(
+        repr(element).encode("utf8") + salt.to_bytes(8, "little"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") / 2**64
+
+
+class ExactPredictor:
+    """Knows the final sorted order exactly (η = 0)."""
+
+    def __init__(self, final_keys: Iterable[Hashable]) -> None:
+        self._sorted: Sequence[Hashable] = sorted(final_keys)
+        self._rank = {key: index + 1 for index, key in enumerate(self._sorted)}
+
+    @property
+    def universe_size(self) -> int:
+        return len(self._sorted)
+
+    def true_rank(self, element: Hashable) -> int:
+        return self._rank[element]
+
+    def predict(self, element: Hashable) -> int:
+        return self._rank[element]
+
+    def max_error(self) -> int:
+        return 0
+
+
+class NoisyPredictor(ExactPredictor):
+    """Exact rank perturbed by a bounded deterministic offset.
+
+    The offset of each element is fixed (a hash of the element and the salt),
+    so the predictor's maximum error is at most ``eta`` by construction and
+    repeated calls agree.
+    """
+
+    def __init__(
+        self, final_keys: Iterable[Hashable], eta: int, *, salt: int = 0
+    ) -> None:
+        super().__init__(final_keys)
+        if eta < 0:
+            raise ValueError("eta must be non-negative")
+        self._eta = eta
+        self._salt = salt
+
+    @property
+    def eta(self) -> int:
+        return self._eta
+
+    def predict(self, element: Hashable) -> int:
+        exact = self.true_rank(element)
+        if self._eta == 0:
+            return exact
+        noise = _stable_noise(element, self._salt)
+        offset = int(round((noise * 2.0 - 1.0) * self._eta))
+        return max(1, min(self.universe_size, exact + offset))
+
+    def max_error(self) -> int:
+        return max(
+            abs(self.predict(key) - self.true_rank(key)) for key in self._sorted
+        )
+
+
+class StalePredictor:
+    """Predicts ranks from an outdated snapshot of the key set.
+
+    Elements unknown to the snapshot are predicted at the rank their key
+    would occupy in the snapshot (a ``bisect``), which is how a trained but
+    stale learned index behaves.  The error grows with the number of keys
+    that arrived after the snapshot was taken.
+    """
+
+    def __init__(self, snapshot_keys: Iterable[Hashable]) -> None:
+        self._snapshot = sorted(snapshot_keys)
+
+    def predict(self, element: Hashable) -> int:
+        return bisect.bisect_left(self._snapshot, element) + 1
+
+    def max_error_against(self, final_keys: Iterable[Hashable]) -> int:
+        """Maximum error with respect to the true final order of ``final_keys``."""
+        final_sorted = sorted(final_keys)
+        true_rank = {key: index + 1 for index, key in enumerate(final_sorted)}
+        worst = 0
+        for key in final_sorted:
+            worst = max(worst, abs(self.predict(key) - true_rank[key]))
+        return worst

@@ -1,0 +1,98 @@
+"""Randomized, history-oblivious packed-memory array.
+
+This class is the library's stand-in for the Bender et al. FOCS'22 algorithm
+[8] that breaks the ``log² n`` barrier with randomization and history
+independence (see the substitution note in ``DESIGN.md``).  It keeps the PMA
+skeleton but randomizes the two decisions an oblivious adversary could
+otherwise exploit:
+
+* **window alignment** — each level's windows are shifted by a per-instance
+  random offset, so the adversary cannot aim insertions at a window boundary;
+* **redistribution layout** — the free slots of a rebalance are scattered
+  among the gaps at random (multinomially) instead of perfectly evenly, so
+  the post-rebalance state does not reveal the insertion history.
+
+Both sources of randomness are drawn from a private :class:`random.Random`
+seeded at construction, which is exactly the oblivious-adversary model of
+Section 2: the input sequence may depend on the distribution but not on the
+sampled bits.  The embedding's input-independence property (Lemma 4) is
+checked against this class in the E-IIF experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable
+
+from repro.algorithms.classical import ClassicalPMA
+
+
+class RandomizedPMA(ClassicalPMA):
+    """PMA with randomized window offsets and randomized redistribution."""
+
+    def __init__(
+        self,
+        capacity: int,
+        num_slots: int | None = None,
+        *,
+        seed: int | None = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(capacity, num_slots, **kwargs)
+        self._rng = random.Random(seed)
+        # A fixed random phase per level; re-drawn after every rebalance of
+        # that level so the layout does not become predictable.
+        self._level_offsets: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _level_offset(self, level: int) -> int:
+        span = self._segment_size * (1 << level)
+        if level not in self._level_offsets:
+            self._level_offsets[level] = self._rng.randrange(span)
+        return self._level_offsets[level]
+
+    def _window_bounds(self, slot: int, level: int) -> tuple[int, int]:
+        span = self._segment_size * (1 << level)
+        if span >= self.num_slots:
+            return 0, self.num_slots
+        offset = self._level_offset(level) if level > 0 else 0
+        shifted = slot + offset
+        lo = (shifted // span) * span - offset
+        hi = lo + span
+        lo = max(0, lo)
+        hi = min(self.num_slots, hi)
+        if not lo <= slot < hi:  # clamping at the array ends
+            lo, hi = super()._window_bounds(slot, level)
+        return lo, hi
+
+    def _rebalance(self, level, lo, hi, insert_rank, insert_element) -> None:
+        super()._rebalance(level, lo, hi, insert_rank, insert_element)
+        # Re-draw this level's phase so repeated attacks on one boundary fail.
+        if level in self._level_offsets:
+            del self._level_offsets[level]
+
+    # ------------------------------------------------------------------
+    def _rebalance_targets(
+        self,
+        lo: int,
+        hi: int,
+        count: int,
+        insert_slot_hint: int | None,
+    ) -> list[int]:
+        width = hi - lo
+        free = width - count
+        if count == 0:
+            return []
+        if free <= 0:
+            return self.even_targets(lo, hi, count)
+        # Scatter the free slots uniformly at random among the count + 1 gaps.
+        allocation = [0] * (count + 1)
+        for _ in range(free):
+            allocation[self._rng.randrange(count + 1)] += 1
+        targets = []
+        cursor = lo
+        for index in range(count):
+            cursor += allocation[index]
+            targets.append(cursor)
+            cursor += 1
+        return targets

@@ -1,0 +1,60 @@
+"""Growth-curve analysis: which power of ``log n`` does a cost follow?
+
+The paper's results are separations between ``log n``, ``log^{3/2} n`` and
+``log² n`` amortized costs.  Absolute constants are meaningless in a pure
+Python cost model, but the *exponent* of the ``log`` is measurable: fit
+``cost(n) ≈ a · (log₂ n)^p`` over a sweep of ``n`` and report ``p``.  The
+experiments assert, e.g., that the classical PMA's exponent is close to 2
+while the adaptive PMA's exponent on hammer workloads is close to 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def estimate_log_exponent(sizes: Sequence[int], costs: Sequence[float]) -> float:
+    """Least-squares estimate of ``p`` in ``cost ≈ a · (log₂ n)^p``.
+
+    Performs an ordinary linear regression of ``log(cost)`` against
+    ``log(log₂ n)``.  Sizes must be at least 4 so the inner logarithm is
+    bounded away from zero; non-positive costs are clamped to a small value.
+    """
+    if len(sizes) != len(costs):
+        raise ValueError("sizes and costs must have the same length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    xs = []
+    ys = []
+    for size, cost in zip(sizes, costs):
+        if size < 4:
+            raise ValueError("sizes must be at least 4")
+        xs.append(math.log(math.log2(size)))
+        ys.append(math.log(max(cost, 1e-9)))
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("sizes are too close together to fit an exponent")
+    return sxy / sxx
+
+
+def growth_ratios(sizes: Sequence[int], costs: Sequence[float]) -> list[float]:
+    """Cost ratios between consecutive sweep points (diagnostic output)."""
+    ratios = []
+    for previous, current in zip(costs, costs[1:]):
+        ratios.append(current / previous if previous else float("inf"))
+    return ratios
+
+
+def normalized_by_log_power(
+    sizes: Sequence[int], costs: Sequence[float], power: float
+) -> list[float]:
+    """``cost / (log₂ n)^power`` for each sweep point.
+
+    If the costs genuinely grow like ``(log n)^power`` the returned values
+    are roughly constant, which is an easy property for a test to assert.
+    """
+    return [cost / (math.log2(size) ** power) for size, cost in zip(sizes, costs)]

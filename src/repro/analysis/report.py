@@ -1,0 +1,47 @@
+"""Plain-text tables for the benchmark reports.
+
+The benchmarks print their results as aligned ASCII tables (one per
+experiment) so the EXPERIMENTS.md "measured" columns can be pasted straight
+from the bench output.  No third-party dependency is used.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_cell(value: object, precision: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 2,
+) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return (title + "\n(no rows)") if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [format_cell(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered_rows))
+        for index, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered_rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)

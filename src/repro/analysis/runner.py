@@ -1,0 +1,96 @@
+"""Drive a list-labeling structure through a workload and measure its cost.
+
+The runner owns the reference model (the sorted key sequence), synthesizes
+keys for rank-only operations, forwards every operation to the structure
+under test, and records per-operation element-move costs.  It can optionally
+re-validate the structure's full state every ``validate_every`` operations,
+which is how the integration tests exercise long mixed workloads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.cost import CostTracker
+from repro.core.exceptions import InvariantViolation
+from repro.core.interface import ListLabeler
+from repro.core.validation import check_labeler
+from repro.workloads.base import Workload, synthesize_key
+
+
+@dataclass
+class RunResult:
+    """Everything measured while running one workload on one structure."""
+
+    labeler: ListLabeler
+    workload_name: str
+    tracker: CostTracker
+    elapsed_seconds: float
+    final_keys: list[Hashable] = field(default_factory=list)
+
+    @property
+    def amortized_cost(self) -> float:
+        return self.tracker.amortized
+
+    @property
+    def worst_case_cost(self) -> int:
+        return self.tracker.worst_case
+
+    @property
+    def total_cost(self) -> int:
+        return self.tracker.total_cost
+
+    def summary(self) -> dict[str, float]:
+        data = self.tracker.summary()
+        data["elapsed_seconds"] = self.elapsed_seconds
+        return data
+
+
+def run_workload(
+    labeler: ListLabeler,
+    workload: Workload,
+    *,
+    validate_every: int = 0,
+    stop_after: int | None = None,
+) -> RunResult:
+    """Run ``workload`` against ``labeler`` and record the move costs.
+
+    ``validate_every`` > 0 re-checks the full structural invariants (sorted
+    order, size, contents against the reference model) every that many
+    operations — slow, only used by tests.  ``stop_after`` truncates the
+    workload, which lets one workload definition serve several sweep sizes.
+    """
+    tracker = CostTracker()
+    reference: list[Hashable] = []
+    started = time.perf_counter()
+    executed = 0
+
+    for operation in workload:
+        if stop_after is not None and executed >= stop_after:
+            break
+        if operation.is_insert:
+            key = operation.key
+            if key is None:
+                key = synthesize_key(reference, operation.rank)
+            result = labeler.insert(operation.rank, key)
+            reference.insert(operation.rank - 1, key)
+        else:
+            result = labeler.delete(operation.rank)
+            reference.pop(operation.rank - 1)
+        tracker.record(result.cost)
+        executed += 1
+        if validate_every and executed % validate_every == 0:
+            check_labeler(labeler, expected=reference)
+            if list(labeler.elements()) != reference:
+                raise InvariantViolation("structure diverged from the reference model")
+
+    elapsed = time.perf_counter() - started
+    return RunResult(
+        labeler=labeler,
+        workload_name=workload.name,
+        tracker=tracker,
+        elapsed_seconds=elapsed,
+        final_keys=reference,
+    )

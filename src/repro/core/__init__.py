@@ -1,0 +1,52 @@
+"""Core list-labeling framework and the layered embedding.
+
+This subpackage contains the problem framework (operations, cost model,
+validation helpers) shared by every algorithm in :mod:`repro.algorithms`,
+and the paper's primary contribution: the embedding ``F ⊳ R`` of a fast
+list-labeling algorithm into a reliable one (:mod:`repro.core.embedding`)
+together with its repeated composition ``X ⊳ (Y ⊳ Z)``
+(:mod:`repro.core.layered`).
+"""
+
+from repro.core.exceptions import (
+    CapacityError,
+    InvariantViolation,
+    LabelerError,
+    RankError,
+)
+from repro.core.operations import (
+    DELETE,
+    INSERT,
+    Move,
+    Operation,
+    OperationResult,
+)
+from repro.core.interface import ListLabeler
+from repro.core.cost import CostTracker, WindowStatistics
+from repro.core.embedding import Embedding
+from repro.core.layered import (
+    LayeredLabeler,
+    make_corollary11_labeler,
+    make_corollary12_labeler,
+)
+from repro.core.interleaved import InterleavedComposition
+
+__all__ = [
+    "CapacityError",
+    "CostTracker",
+    "DELETE",
+    "Embedding",
+    "INSERT",
+    "InterleavedComposition",
+    "InvariantViolation",
+    "LabelerError",
+    "LayeredLabeler",
+    "ListLabeler",
+    "Move",
+    "Operation",
+    "OperationResult",
+    "RankError",
+    "WindowStatistics",
+    "make_corollary11_labeler",
+    "make_corollary12_labeler",
+]

@@ -1,0 +1,195 @@
+"""Cost accounting: amortized, worst-case and lightly-amortized statistics.
+
+Section 2 of the paper defines three cost notions that the theorems
+distinguish carefully:
+
+* **amortized expected cost** ``O(C)``: on every prefix of the input the
+  average cost per operation is ``O(C)``;
+* **worst-case cost**: the maximum cost of any single operation;
+* **lightly-amortized expected cost** ``O(C)``: on *any contiguous
+  subsequence* of ``T`` operations the total cost is ``O(TC + n)``.
+
+:class:`CostTracker` records the per-operation costs produced by a run and
+exposes all three, including the windowed statistic needed to check light
+amortization empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class WindowStatistics:
+    """Cost statistics of the worst contiguous window of a fixed length."""
+
+    window: int
+    max_total: int
+    max_start: int
+    mean_total: float
+
+    @property
+    def max_average(self) -> float:
+        """Average per-operation cost inside the worst window."""
+        return self.max_total / self.window if self.window else 0.0
+
+
+class CostTracker:
+    """Accumulates per-operation costs and derives summary statistics."""
+
+    def __init__(self) -> None:
+        self._costs: list[int] = []
+        self._total = 0
+        self._max = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, cost: int) -> None:
+        """Record the cost of one operation."""
+        if cost < 0:
+            raise ValueError("operation cost cannot be negative")
+        self._costs.append(cost)
+        self._total += cost
+        if cost > self._max:
+            self._max = cost
+
+    def record_many(self, costs: Iterable[int]) -> None:
+        for cost in costs:
+            self.record(cost)
+
+    # ------------------------------------------------------------------
+    # Basic statistics
+    # ------------------------------------------------------------------
+    @property
+    def operations(self) -> int:
+        return len(self._costs)
+
+    @property
+    def total_cost(self) -> int:
+        return self._total
+
+    @property
+    def worst_case(self) -> int:
+        """Maximum cost of a single operation."""
+        return self._max
+
+    @property
+    def amortized(self) -> float:
+        """Average cost per operation over the whole run."""
+        if not self._costs:
+            return 0.0
+        return self._total / len(self._costs)
+
+    @property
+    def costs(self) -> Sequence[int]:
+        return tuple(self._costs)
+
+    def prefix_amortized(self) -> list[float]:
+        """Average cost on every prefix (the paper's amortized notion)."""
+        averages: list[float] = []
+        running = 0
+        for index, cost in enumerate(self._costs, start=1):
+            running += cost
+            averages.append(running / index)
+        return averages
+
+    def max_prefix_amortized(self) -> float:
+        """Largest prefix average — bounds the amortized cost of the run."""
+        prefix = self.prefix_amortized()
+        return max(prefix) if prefix else 0.0
+
+    # ------------------------------------------------------------------
+    # Light amortization
+    # ------------------------------------------------------------------
+    def window_statistics(self, window: int) -> WindowStatistics:
+        """Statistics of the most expensive contiguous window of length ``window``.
+
+        The lightly-amortized guarantee of the paper says the total cost on
+        any window of ``T`` operations is ``O(TC + n)``; this method returns
+        the empirical worst window so the bound can be checked.
+        """
+        if window < 1:
+            raise ValueError("window must be positive")
+        costs = self._costs
+        if not costs:
+            return WindowStatistics(window=window, max_total=0, max_start=0, mean_total=0.0)
+        window = min(window, len(costs))
+        current = sum(costs[:window])
+        best = current
+        best_start = 0
+        totals_sum = current
+        count = 1
+        for start in range(1, len(costs) - window + 1):
+            current += costs[start + window - 1] - costs[start - 1]
+            totals_sum += current
+            count += 1
+            if current > best:
+                best = current
+                best_start = start
+        return WindowStatistics(
+            window=window,
+            max_total=best,
+            max_start=best_start,
+            mean_total=totals_sum / count,
+        )
+
+    def lightly_amortized_bound(self, window: int, slack: int) -> float:
+        """Empirical lightly-amortized constant.
+
+        Returns the smallest ``C`` such that the worst window of length
+        ``window`` has total cost ``≤ C * window + slack`` (``slack`` plays
+        the role of the additive ``O(n)`` term).
+        """
+        stats = self.window_statistics(window)
+        effective = max(stats.max_total - slack, 0)
+        return effective / stats.window if stats.window else 0.0
+
+    # ------------------------------------------------------------------
+    # Distributional statistics
+    # ------------------------------------------------------------------
+    def percentile(self, fraction: float) -> int:
+        """Cost percentile (``fraction`` in [0, 1]) using nearest-rank."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        if not self._costs:
+            return 0
+        ordered = sorted(self._costs)
+        index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[index]
+
+    def tail_fraction(self, threshold: int) -> float:
+        """Fraction of operations whose cost is at least ``threshold``."""
+        if not self._costs:
+            return 0.0
+        heavy = sum(1 for cost in self._costs if cost >= threshold)
+        return heavy / len(self._costs)
+
+    # ------------------------------------------------------------------
+    # Merging and summarizing
+    # ------------------------------------------------------------------
+    def merge(self, other: "CostTracker") -> "CostTracker":
+        """Concatenate two runs into a new tracker."""
+        merged = CostTracker()
+        merged.record_many(self._costs)
+        merged.record_many(other._costs)
+        return merged
+
+    def summary(self) -> dict[str, float]:
+        """Dictionary summary used by the benchmark report tables."""
+        return {
+            "operations": float(self.operations),
+            "total_cost": float(self.total_cost),
+            "amortized": self.amortized,
+            "worst_case": float(self.worst_case),
+            "p50": float(self.percentile(0.50)),
+            "p99": float(self.percentile(0.99)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"CostTracker(operations={self.operations}, amortized={self.amortized:.2f}, "
+            f"worst_case={self.worst_case})"
+        )

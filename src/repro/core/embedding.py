@@ -1,0 +1,298 @@
+"""The embedding ``F ⊳ R`` of a fast algorithm into a reliable one (Section 3).
+
+:class:`Embedding` is itself a list-labeling data structure (Theorem 2): all
+elements appear in sorted order in one array of ``(1 + 3ε)n`` slots.  It is
+built from factories for the two component algorithms so it can size them
+the way the paper does:
+
+* ``F`` runs on ``(1 + ε)n`` slots and capacity ``n`` (the simulated copy);
+* ``R`` runs on the whole ``(1 + 3ε)n``-slot array and holds
+  ``(1 + 2ε)n`` tokens (every F-slot and every buffer slot).
+
+Each operation takes the **fast path** (emulate ``F`` directly) when there is
+no pending rebuild and the simulated copy's cost for the operation is at most
+``E_R``; otherwise it takes the **slow path**: the element is buffered in the
+R-shell and ``Θ(E_R)`` of rebuild work is performed on the F-emulator,
+following steps (a)/(b) of Section 3 verbatim.
+
+The class exposes the statistics the paper's lemmas talk about
+(:attr:`fast_operations`, :attr:`slow_operations`, buffer occupancy,
+deadweight counts, rebuild spans) so the experiments can check Lemmas 5–7
+empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, Sequence
+
+from repro.core.emulator import FEmulator
+from repro.core.exceptions import InvariantViolation
+from repro.core.interface import ListLabeler
+from repro.core.operations import Operation, OperationResult
+from repro.core.physical import BUFFER, F_SLOT, PhysicalArray, R_EMPTY
+from repro.core.shell import RShell
+
+#: Type of the factories used to build the component algorithms: they receive
+#: ``(capacity, num_slots)`` and return a ready list labeler.
+LabelerFactory = Callable[[int, int], ListLabeler]
+
+
+def default_expected_cost(capacity: int) -> int:
+    """Default ``E_R`` bound: ``ceil(log₂² n)``, the classical PMA guarantee."""
+    log = math.log2(max(4, capacity))
+    return max(4, int(math.ceil(log * log)))
+
+
+class Embedding(ListLabeler):
+    """The list-labeling algorithm ``F ⊳ R`` ("F in R")."""
+
+    def __init__(
+        self,
+        capacity: int,
+        fast_factory: LabelerFactory,
+        reliable_factory: LabelerFactory,
+        *,
+        epsilon: float = 0.25,
+        num_slots: int | None = None,
+        reliable_expected_cost: int | None = None,
+        rebuild_work_factor: float = 1.0,
+    ) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        if num_slots is None:
+            f_slots = max(capacity + 1, int(math.ceil((1.0 + epsilon) * capacity)))
+            buffer_slots = max(2, int(math.ceil(epsilon * capacity)))
+            r_empty_slots = max(2, int(math.ceil(epsilon * capacity)))
+            num_slots = f_slots + buffer_slots + r_empty_slots
+        else:
+            # A prescribed array size (e.g. when this embedding itself plays
+            # the role of R inside an outer embedding): split the available
+            # slack (num_slots - capacity) into the ε n of extra F-slots, the
+            # ε n buffer slots and the ε n R-empty slots.
+            slack = num_slots - capacity
+            if slack < 6:
+                raise ValueError(
+                    "an embedding needs at least 6 slots of slack "
+                    f"(capacity {capacity}, num_slots {num_slots})"
+                )
+            buffer_slots = max(2, slack // 3)
+            r_empty_slots = max(2, slack // 3)
+            f_slots = num_slots - buffer_slots - r_empty_slots
+            epsilon = slack / (3.0 * capacity)
+        super().__init__(capacity, num_slots)
+
+        self.epsilon = epsilon
+        self.e_r = (
+            reliable_expected_cost
+            if reliable_expected_cost is not None
+            else default_expected_cost(capacity)
+        )
+        if self.e_r < 1:
+            raise ValueError("reliable_expected_cost must be at least 1")
+        self.rebuild_work_factor = rebuild_work_factor
+        self._work_budget = max(1, int(math.ceil(rebuild_work_factor * self.e_r)))
+
+        self._physical = PhysicalArray(num_slots)
+        self._shell = RShell(
+            reliable_factory,
+            f_slots=f_slots,
+            buffer_slots=buffer_slots,
+            physical=self._physical,
+        )
+        self._emulator = FEmulator(fast_factory(capacity, f_slots), self._physical)
+
+        # --- statistics ---------------------------------------------------
+        self.fast_operations = 0
+        self.slow_operations = 0
+        self.max_buffered_elements = 0
+        #: The operation sequence handed to the R-shell, recorded as
+        #: ``(kind, token_rank)`` pairs — used by the Lemma 4 experiments.
+        self.shell_input_trace: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Component access (read-only; useful for experiments and figures)
+    # ------------------------------------------------------------------
+    @property
+    def physical(self) -> PhysicalArray:
+        return self._physical
+
+    @property
+    def emulator(self) -> FEmulator:
+        return self._emulator
+
+    @property
+    def shell(self) -> RShell:
+        return self._shell
+
+    @property
+    def f_slot_count(self) -> int:
+        return self._physical.f_slot_count
+
+    @property
+    def buffered_elements(self) -> int:
+        return self._physical.buffered_element_count
+
+    @property
+    def deadweight_moves(self) -> int:
+        return self._physical.total_deadweight_moves
+
+    # ------------------------------------------------------------------
+    # ListLabeler interface
+    # ------------------------------------------------------------------
+    def slots(self) -> Sequence[Hashable | None]:
+        return self._physical.slots()
+
+    def slot_of(self, element: Hashable) -> int:
+        return self._physical.position_of(element)
+
+    def _insert(self, rank: int, element: Hashable) -> OperationResult:
+        result = OperationResult(Operation.insert(rank))
+        self._physical.move_sink = result.moves
+        try:
+            simulated_result = self._emulator.simulated.insert(rank, element)
+            fast = (
+                not self._emulator.has_pending_rebuild
+                and simulated_result.cost <= self.e_r
+            )
+            if fast:
+                self.fast_operations += 1
+                self._emulator.apply_fast(simulated_result.moves)
+            else:
+                self.slow_operations += 1
+                self._buffer_insert(rank, element)
+                self._perform_rebuild_work()
+            self._emulator.note_operation()
+        finally:
+            self._physical.move_sink = None
+        self.max_buffered_elements = max(
+            self.max_buffered_elements, self._physical.buffered_element_count
+        )
+        return result
+
+    def _delete(self, rank: int) -> OperationResult:
+        result = OperationResult(Operation.delete(rank))
+        self._physical.move_sink = result.moves
+        try:
+            element = self._physical.element_at_rank(rank)
+            simulated_result = self._emulator.simulated.delete(rank)
+            fast = (
+                not self._emulator.has_pending_rebuild
+                and simulated_result.cost <= self.e_r
+            )
+            if fast:
+                self.fast_operations += 1
+                self._emulator.apply_fast(simulated_result.moves)
+            else:
+                self.slow_operations += 1
+                position = self._physical.position_of(element)
+                was_f_slot = self._physical.kind(position) == F_SLOT
+                self._physical.take_element(position)
+                if was_f_slot:
+                    self._emulator.mark_deleted(element)
+                self._perform_rebuild_work()
+            self._emulator.note_operation()
+        finally:
+            self._physical.move_sink = None
+        return result
+
+    # ------------------------------------------------------------------
+    # Slow path, part (a): buffering an insertion in the R-shell
+    # ------------------------------------------------------------------
+    def _buffer_insert(self, rank: int, element: Hashable) -> None:
+        physical = self._physical
+        if physical.dummy_buffer_count == 0:
+            raise InvariantViolation(
+                "no dummy buffer slot available — the halting condition of "
+                "Section 4 occurred, contradicting Lemma 7"
+            )
+        # The element's rank predecessor anchors both the dummy choice and
+        # the new buffer slot's R-rank; everything is derived from the
+        # truncated state only (Lemma 4).
+        predecessor = (
+            physical.element_at_rank(rank - 1) if rank > 1 else None
+        )
+        anchor_position = (
+            physical.position_of(predecessor) if predecessor is not None else 0
+        )
+
+        dummy_position = physical.nearest_dummy_buffer(anchor_position)
+        assert dummy_position is not None
+        dummy_rank = physical.token_rank(dummy_position)
+        self.shell_input_trace.append(("delete", dummy_rank))
+        self._shell.delete_token(dummy_rank)
+
+        if predecessor is not None:
+            insert_rank = physical.token_rank(physical.position_of(predecessor)) + 1
+        else:
+            insert_rank = 1
+        self.shell_input_trace.append(("insert", insert_rank))
+        new_position = self._shell.insert_token(insert_rank)
+        physical.put_element(new_position, element)
+
+    # ------------------------------------------------------------------
+    # Slow path, part (b): rebuild work on the F-emulator
+    # ------------------------------------------------------------------
+    def _perform_rebuild_work(self) -> None:
+        emulator = self._emulator
+        if not emulator.has_pending_rebuild:
+            if not emulator.diverged():
+                return
+            emulator.start_rebuild()
+
+        # (i) perform Θ(E_R) rebuild work.
+        emulator.rebuild_work(self._work_budget)
+        # (ii) finish the rebuild if it is nearly done.
+        if (
+            emulator.has_pending_rebuild
+            and emulator.estimated_remaining_cost() < self.e_r
+        ):
+            emulator.rebuild_work(0, finish=True)
+        # (iii) if complete, open the next checkpoint …
+        if not emulator.has_pending_rebuild and emulator.diverged():
+            emulator.start_rebuild()
+            # (iv) … and finish it too if it is cheap.
+            if emulator.estimated_remaining_cost() < self.e_r:
+                emulator.rebuild_work(0, finish=True)
+
+    # ------------------------------------------------------------------
+    # Validation and rendering
+    # ------------------------------------------------------------------
+    def check_consistency(self, key=None) -> None:
+        """Run every structural invariant of the embedding (used by tests)."""
+        self._physical.check_consistency(key=key)
+        self._emulator.check_consistency()
+        self._shell.check_consistency()
+        counts = {R_EMPTY: 0, F_SLOT: 0, BUFFER: 0}
+        for kind in self._physical.kinds():
+            counts[kind] += 1
+        if counts[F_SLOT] != self._emulator.simulated.num_slots:
+            raise InvariantViolation("the number of F-slots drifted")
+        expected = [
+            item for item in self._emulator.simulated.slots() if item is not None
+        ]
+        actual = self._physical.elements()
+        if expected != actual:
+            raise InvariantViolation(
+                "the embedding's contents diverged from the simulated copy of F"
+            )
+
+    def render_views(self) -> dict[str, str]:
+        """Render the three views of Figure 1 as strings (see examples/)."""
+        kind_chars = {F_SLOT: "F", BUFFER: "B", R_EMPTY: "."}
+        embedding_view = []
+        f_view = []
+        shell_view = []
+        for position in range(self.num_slots):
+            kind = self._physical.kind(position)
+            occupied = self._physical.element(position) is not None
+            symbol = kind_chars[kind]
+            embedding_view.append(symbol if occupied else symbol.lower())
+            if kind == F_SLOT:
+                f_view.append("F" if occupied else "f")
+            shell_view.append("." if kind == R_EMPTY else "X")
+        return {
+            "embedding": "".join(embedding_view),
+            "f_emulator": "".join(f_view),
+            "r_shell": "".join(shell_view),
+        }

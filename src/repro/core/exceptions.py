@@ -1,0 +1,49 @@
+"""Exception hierarchy for the list-labeling library.
+
+All library-specific errors derive from :class:`LabelerError` so callers can
+catch a single base class.  The hierarchy intentionally mirrors the three
+failure modes a list-labeling data structure can hit:
+
+* a caller supplied an out-of-range rank (:class:`RankError`);
+* the structure was asked to hold more elements than its declared capacity
+  (:class:`CapacityError`);
+* an internal invariant was violated (:class:`InvariantViolation`) — this is
+  always a bug in the implementation, never a user error, and the validation
+  helpers in :mod:`repro.core.validation` raise it eagerly in tests.
+"""
+
+from __future__ import annotations
+
+
+class LabelerError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class RankError(LabelerError, ValueError):
+    """An operation referenced a rank outside the valid range.
+
+    Insertion ranks must lie in ``[1, size + 1]`` and deletion ranks in
+    ``[1, size]`` where ``size`` is the number of stored elements, following
+    Definition 1 of the paper.
+    """
+
+    def __init__(self, rank: int, size: int, operation: str) -> None:
+        self.rank = rank
+        self.size = size
+        self.operation = operation
+        super().__init__(
+            f"{operation} rank {rank} out of range for a structure holding "
+            f"{size} element(s)"
+        )
+
+
+class CapacityError(LabelerError):
+    """The structure was asked to store more elements than its capacity."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        super().__init__(f"structure is full (capacity {capacity})")
+
+
+class InvariantViolation(LabelerError, AssertionError):
+    """An internal invariant of a list-labeling structure was violated."""

@@ -1,0 +1,103 @@
+"""A Fenwick (binary indexed) tree over slot occupancy.
+
+Every array-based list-labeling algorithm in this library needs two
+primitives that are awkward on a plain Python list:
+
+* ``count(lo, hi)`` — how many occupied slots lie in ``[lo, hi)``;
+* ``select(k)`` — the position of the ``k``-th occupied slot (1-based).
+
+Both are ``O(log m)`` with a Fenwick tree, which keeps the pure-Python
+implementations fast enough to run the paper's experiments at
+``n`` up to a few hundred thousand elements.
+"""
+
+from __future__ import annotations
+
+
+class FenwickTree:
+    """Fenwick tree over a fixed-size 0/1 occupancy vector."""
+
+    def __init__(self, size: int) -> None:
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._size = size
+        self._tree = [0] * (size + 1)
+        self._values = [0] * size
+        # Highest power of two <= size, used by the select binary lift.
+        self._top_bit = 1
+        while self._top_bit * 2 <= size:
+            self._top_bit *= 2
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def value(self, index: int) -> int:
+        """Current 0/1 value at ``index``."""
+        return self._values[index]
+
+    def set(self, index: int, value: int) -> None:
+        """Set position ``index`` to ``value`` (0 or 1)."""
+        if value not in (0, 1):
+            raise ValueError("occupancy values must be 0 or 1")
+        delta = value - self._values[index]
+        if delta == 0:
+            return
+        self._values[index] = value
+        tree = self._tree
+        i = index + 1
+        while i <= self._size:
+            tree[i] += delta
+            i += i & (-i)
+
+    # ------------------------------------------------------------------
+    def prefix(self, end: int) -> int:
+        """Number of occupied slots in ``[0, end)``."""
+        total = 0
+        tree = self._tree
+        i = end
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def count(self, lo: int, hi: int) -> int:
+        """Number of occupied slots in ``[lo, hi)``."""
+        if hi <= lo:
+            return 0
+        return self.prefix(hi) - self.prefix(lo)
+
+    @property
+    def total(self) -> int:
+        """Total number of occupied slots."""
+        return self.prefix(self._size)
+
+    # ------------------------------------------------------------------
+    def select(self, k: int) -> int:
+        """Position of the ``k``-th (1-based) occupied slot.
+
+        Raises :class:`IndexError` when fewer than ``k`` slots are occupied.
+        """
+        if k < 1 or k > self.total:
+            raise IndexError(f"select({k}) out of range (total={self.total})")
+        position = 0
+        remaining = k
+        bit = self._top_bit
+        tree = self._tree
+        while bit:
+            nxt = position + bit
+            if nxt <= self._size and tree[nxt] < remaining:
+                position = nxt
+                remaining -= tree[nxt]
+            bit >>= 1
+        return position  # 0-based index of the k-th occupied slot
+
+    def rank_of(self, index: int) -> int:
+        """1-based rank of the occupied slot at ``index``.
+
+        Raises :class:`ValueError` when the slot is not occupied.
+        """
+        if self._values[index] != 1:
+            raise ValueError(f"slot {index} is not occupied")
+        return self.prefix(index) + 1

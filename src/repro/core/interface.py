@@ -1,0 +1,216 @@
+"""The abstract list-labeling interface shared by every algorithm.
+
+Definition 1 of the paper: a list-labeling structure of capacity ``n``
+stores up to ``n`` elements in sorted order in an array of ``m = cn`` slots
+for ``c = 1 + Θ(1)``, supporting rank-addressed insertions and deletions,
+and is charged one unit per element moved.
+
+Every algorithm in :mod:`repro.algorithms` (and the embedding itself)
+implements :class:`ListLabeler`.  Beyond the two mutating operations the
+interface deliberately exposes the *physical* slot array — the embedding of
+Section 3 needs to observe exactly which slot each element of its simulated
+copy of ``F`` occupies in order to plan rebuilds.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Hashable, Iterator, Sequence
+
+from repro.core.exceptions import CapacityError, LabelerError, RankError
+from repro.core.operations import DELETE, INSERT, Operation, OperationResult
+
+
+class ListLabeler(abc.ABC):
+    """Abstract base class for list-labeling data structures.
+
+    Subclasses must implement :meth:`_insert`, :meth:`_delete` and
+    :meth:`slots`; the public :meth:`insert` / :meth:`delete` wrappers
+    perform rank and capacity validation and keep the element count.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of elements (``n`` in the paper).
+    num_slots:
+        Physical array size (``m = cn``).  Subclasses provide a default via
+        :meth:`default_num_slots` when the caller passes ``None``.
+    """
+
+    #: Default slack constant ``c - 1``; subclasses may override.
+    default_slack = 0.25
+
+    def __init__(self, capacity: int, num_slots: int | None = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._capacity = capacity
+        if num_slots is None:
+            num_slots = self.default_num_slots(capacity)
+        if num_slots < capacity:
+            raise ValueError(
+                f"num_slots ({num_slots}) must be at least capacity ({capacity})"
+            )
+        self._num_slots = num_slots
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def default_num_slots(cls, capacity: int) -> int:
+        """Default physical size ``m = ceil((1 + slack) n)``."""
+        return max(capacity + 1, int(math.ceil((1.0 + cls.default_slack) * capacity)))
+
+    # ------------------------------------------------------------------
+    # Read-only properties
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Maximum number of elements the structure may hold (``n``)."""
+        return self._capacity
+
+    @property
+    def num_slots(self) -> int:
+        """Physical array size (``m``)."""
+        return self._num_slots
+
+    @property
+    def size(self) -> int:
+        """Number of elements currently stored."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def is_full(self) -> bool:
+        return self._size >= self._capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return self._size == 0
+
+    # ------------------------------------------------------------------
+    # Mutating operations
+    # ------------------------------------------------------------------
+    def insert(self, rank: int, element: Hashable) -> OperationResult:
+        """Insert ``element`` so that it becomes the ``rank``-th smallest.
+
+        Raises :class:`RankError` when ``rank`` is not in ``[1, size + 1]``
+        and :class:`CapacityError` when the structure is full.
+        """
+        if not 1 <= rank <= self._size + 1:
+            raise RankError(rank, self._size, INSERT)
+        if self._size >= self._capacity:
+            raise CapacityError(self._capacity)
+        result = self._insert(rank, element)
+        self._size += 1
+        return result
+
+    def delete(self, rank: int) -> OperationResult:
+        """Delete the element of the given rank.
+
+        Raises :class:`RankError` when ``rank`` is not in ``[1, size]``.
+        """
+        if not 1 <= rank <= self._size:
+            raise RankError(rank, self._size, DELETE)
+        result = self._delete(rank)
+        self._size -= 1
+        return result
+
+    def apply(self, operation: Operation, element: Hashable | None = None) -> OperationResult:
+        """Apply an :class:`Operation`, generating an element if needed.
+
+        For insertions, ``element`` defaults to ``operation.key`` when given
+        and otherwise to a fresh integer identifier.
+        """
+        if operation.is_insert:
+            if element is None:
+                element = operation.key
+            if element is None:
+                element = self._fresh_element()
+            return self.insert(operation.rank, element)
+        return self.delete(operation.rank)
+
+    def bulk_load(self, elements: Sequence[Hashable]) -> int:
+        """Load ``elements`` (already in rank order) into an empty structure.
+
+        Returns the total move cost.  The default implementation simply
+        appends one element at a time; array-based subclasses override it
+        with an even layout at linear cost, which is what the embedding's
+        R-shell uses to simulate its Θ(n) initialization insertions.
+        """
+        if self._size:
+            raise LabelerError("bulk_load requires an empty structure")
+        total = 0
+        for index, element in enumerate(elements):
+            total += self.insert(index + 1, element).cost
+        return total
+
+    _fresh_counter = 0
+
+    def _fresh_element(self) -> str:
+        """Generate a unique element identifier for anonymous insertions."""
+        ListLabeler._fresh_counter += 1
+        return f"auto-{ListLabeler._fresh_counter}"
+
+    # ------------------------------------------------------------------
+    # Physical state
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def slots(self) -> Sequence[Hashable | None]:
+        """The physical array: one entry per slot, ``None`` marks a free slot.
+
+        Occupied slots read left-to-right must yield the stored elements in
+        rank order — this is the defining invariant of list labeling and is
+        enforced by :func:`repro.core.validation.check_labeler`.
+        """
+
+    def elements(self) -> list[Hashable]:
+        """The stored elements in rank order."""
+        return [item for item in self.slots() if item is not None]
+
+    def slot_of(self, element: Hashable) -> int:
+        """Physical slot index currently holding ``element``.
+
+        The default implementation scans :meth:`slots`; subclasses that keep
+        a reverse index may override it.
+        """
+        for index, item in enumerate(self.slots()):
+            if item == element:
+                return index
+        raise KeyError(f"element {element!r} is not stored")
+
+    def labels(self) -> dict[Hashable, int]:
+        """Map each stored element to its current label (slot index).
+
+        This is the "label" view of the problem described in footnote 1 of
+        the paper: labels are monotone in rank.
+        """
+        return {
+            item: index for index, item in enumerate(self.slots()) if item is not None
+        }
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self.elements())
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _insert(self, rank: int, element: Hashable) -> OperationResult:
+        """Perform the insertion; rank and capacity are already validated."""
+
+    @abc.abstractmethod
+    def _delete(self, rank: int) -> OperationResult:
+        """Perform the deletion; the rank is already validated."""
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"{type(self).__name__}(capacity={self._capacity}, "
+            f"num_slots={self._num_slots}, size={self._size})"
+        )

@@ -1,0 +1,130 @@
+"""Operations, element moves, and per-operation results.
+
+The paper's cost model (Definition 1) charges one unit per *element move*:
+whenever an element is written into an array slot different from the one it
+currently occupies.  Every algorithm in this library reports the moves it
+performs through :class:`OperationResult`, which both drives the cost
+accounting in :mod:`repro.core.cost` and lets the embedding of Section 3
+replay a fast algorithm's moves on the shared physical array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, Sequence
+
+#: Marker for insert operations (``σ`` in the paper's ``x_t = (r, σ)``).
+INSERT = "insert"
+
+#: Marker for delete operations.
+DELETE = "delete"
+
+_VALID_KINDS = (INSERT, DELETE)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A single list-labeling operation ``x_t = (r, σ)``.
+
+    Parameters
+    ----------
+    kind:
+        Either :data:`INSERT` or :data:`DELETE`.
+    rank:
+        The 1-based rank at which the operation applies.  An insertion at
+        rank ``r`` makes the new element the ``r``-th smallest; a deletion at
+        rank ``r`` removes the ``r``-th smallest element.
+    key:
+        Optional application-level payload carried by an insertion (for
+        example a database key).  The list-labeling algorithms never inspect
+        it — per Section 2 the elements are black boxes.
+    """
+
+    kind: str
+    rank: int
+    key: Hashable | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown operation kind {self.kind!r}")
+        if self.rank < 1:
+            raise ValueError(f"ranks are 1-based; got {self.rank}")
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind == INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.kind == DELETE
+
+    @staticmethod
+    def insert(rank: int, key: Hashable | None = None) -> "Operation":
+        """Convenience constructor for an insertion."""
+        return Operation(INSERT, rank, key)
+
+    @staticmethod
+    def delete(rank: int) -> "Operation":
+        """Convenience constructor for a deletion."""
+        return Operation(DELETE, rank)
+
+
+@dataclass(frozen=True)
+class Move:
+    """One element move performed while serving an operation.
+
+    ``source is None`` records the initial placement of a newly inserted
+    element; ``destination is None`` records the removal of a deleted
+    element.  Following the paper, placements count one unit of cost and
+    removals count zero.
+    """
+
+    element: Hashable
+    source: int | None
+    destination: int | None
+
+    @property
+    def is_placement(self) -> bool:
+        return self.source is None and self.destination is not None
+
+    @property
+    def is_removal(self) -> bool:
+        return self.destination is None
+
+    @property
+    def cost(self) -> int:
+        """Cost of this move under the paper's element-move metric."""
+        if self.is_removal:
+            return 0
+        if self.source == self.destination:
+            return 0
+        return 1
+
+
+@dataclass
+class OperationResult:
+    """The outcome of a single insert/delete on a list-labeling structure."""
+
+    operation: Operation
+    moves: list[Move] = field(default_factory=list)
+
+    @property
+    def cost(self) -> int:
+        """Total element-move cost of the operation."""
+        return sum(move.cost for move in self.moves)
+
+    def moved_elements(self) -> list[Hashable]:
+        """Elements that physically moved (or were placed), in move order."""
+        return [move.element for move in self.moves if move.cost > 0]
+
+    def extend(self, moves: Iterable[Move]) -> None:
+        """Append additional moves (used by composite structures)."""
+        self.moves.extend(moves)
+
+    def __iter__(self) -> Iterator[Move]:
+        return iter(self.moves)
+
+
+def total_cost(results: Sequence[OperationResult]) -> int:
+    """Sum of costs over a sequence of operation results."""
+    return sum(result.cost for result in results)

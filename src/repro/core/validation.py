@@ -1,0 +1,120 @@
+"""Invariant checking for list-labeling structures.
+
+These helpers are used throughout the test-suite (and can be enabled inside
+long-running experiments) to assert the defining invariants of Definition 1
+and of the embedding of Section 3.  They raise
+:class:`repro.core.exceptions.InvariantViolation` with a descriptive message
+rather than returning booleans, so property-based tests produce actionable
+failures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence
+
+from repro.core.exceptions import InvariantViolation
+from repro.core.interface import ListLabeler
+
+
+def check_sorted(
+    slots: Sequence[Hashable | None],
+    key: Callable[[Hashable], object] | None = None,
+) -> None:
+    """Check that the occupied slots are in strictly increasing order.
+
+    ``key`` extracts the comparable rank proxy from an element; by default
+    elements are compared directly, which suits the integer-keyed elements
+    used by the workload drivers.
+    """
+    previous = None
+    previous_index = None
+    for index, element in enumerate(slots):
+        if element is None:
+            continue
+        value = key(element) if key is not None else element
+        if previous is not None and not value > previous:
+            raise InvariantViolation(
+                "sorted-order invariant violated: slot "
+                f"{previous_index} holds {previous!r} but slot {index} holds {value!r}"
+            )
+        previous = value
+        previous_index = index
+
+
+def check_slot_count(labeler: ListLabeler) -> None:
+    """Check that the physical array has the declared number of slots."""
+    slots = labeler.slots()
+    if len(slots) != labeler.num_slots:
+        raise InvariantViolation(
+            f"{type(labeler).__name__} reports num_slots={labeler.num_slots} "
+            f"but exposes {len(slots)} slots"
+        )
+
+
+def check_size(labeler: ListLabeler) -> None:
+    """Check that the reported size matches the number of occupied slots."""
+    occupied = sum(1 for item in labeler.slots() if item is not None)
+    if occupied != len(labeler):
+        raise InvariantViolation(
+            f"{type(labeler).__name__} reports size={len(labeler)} but "
+            f"{occupied} slots are occupied"
+        )
+
+
+def check_contents(
+    labeler: ListLabeler, expected: Sequence[Hashable]
+) -> None:
+    """Check that the stored elements (in order) equal ``expected``."""
+    actual = labeler.elements()
+    if list(actual) != list(expected):
+        raise InvariantViolation(
+            f"{type(labeler).__name__} stores {actual!r} but the reference "
+            f"model expects {list(expected)!r}"
+        )
+
+
+def check_capacity_slack(labeler: ListLabeler, minimum_slack: float = 0.0) -> None:
+    """Check the array is of size ``(1 + Θ(1)) n`` with at least the given slack."""
+    required = int((1.0 + minimum_slack) * labeler.capacity)
+    if labeler.num_slots < required:
+        raise InvariantViolation(
+            f"{type(labeler).__name__} has {labeler.num_slots} slots which is "
+            f"below the required (1 + {minimum_slack}) * {labeler.capacity}"
+        )
+
+
+def check_labeler(
+    labeler: ListLabeler,
+    expected: Sequence[Hashable] | None = None,
+    key: Callable[[Hashable], object] | None = None,
+) -> None:
+    """Run the full battery of structural checks on a labeler."""
+    check_slot_count(labeler)
+    check_size(labeler)
+    check_sorted(labeler.slots(), key=key)
+    if expected is not None:
+        check_contents(labeler, expected)
+
+
+def check_moves_consistent(
+    before: Sequence[Hashable | None],
+    after: Sequence[Hashable | None],
+    moved: Sequence[Hashable],
+) -> None:
+    """Check that the set of elements that changed slots is covered by ``moved``.
+
+    ``moved`` is the list of elements an operation reported as moved; every
+    element whose physical slot changed between ``before`` and ``after`` must
+    appear in it (the converse need not hold — an algorithm may conservatively
+    report a move that ended up back in place).
+    """
+    before_pos = {item: idx for idx, item in enumerate(before) if item is not None}
+    after_pos = {item: idx for idx, item in enumerate(after) if item is not None}
+    moved_set = set(moved)
+    for element, position in after_pos.items():
+        old = before_pos.get(element)
+        if old is not None and old != position and element not in moved_set:
+            raise InvariantViolation(
+                f"element {element!r} moved from slot {old} to {position} but the "
+                "operation did not report it as moved"
+            )

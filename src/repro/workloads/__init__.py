@@ -1,0 +1,30 @@
+"""Workload generators for the experiments.
+
+Every workload is an iterable of :class:`repro.core.operations.Operation`
+objects plus a little metadata (name, number of operations, capacity needed).
+They model the database access patterns the paper's introduction motivates:
+uniform random updates, bulk loads, append-only streams, hammer-insert
+hotspots (the adaptive bound of [18]), churn with deletions, skewed (zipfian)
+insertion points, and prediction-augmented insertion streams (Corollary 12).
+"""
+
+from repro.workloads.base import Workload, synthesize_key
+from repro.workloads.random_uniform import RandomWorkload
+from repro.workloads.sequential import SequentialWorkload
+from repro.workloads.hammer import HammerWorkload
+from repro.workloads.bulk import BulkLoadWorkload
+from repro.workloads.zipfian import ZipfianWorkload
+from repro.workloads.sliding import SlidingWindowWorkload
+from repro.workloads.predicted import PredictedWorkload
+
+__all__ = [
+    "BulkLoadWorkload",
+    "HammerWorkload",
+    "PredictedWorkload",
+    "RandomWorkload",
+    "SequentialWorkload",
+    "SlidingWindowWorkload",
+    "Workload",
+    "ZipfianWorkload",
+    "synthesize_key",
+]

@@ -1,0 +1,69 @@
+"""Common machinery shared by the workload generators.
+
+A :class:`Workload` is an iterable of operations together with the capacity
+the target structure needs.  Rank-addressed operations do not carry keys by
+themselves; :func:`synthesize_key` lets a driver invent totally ordered keys
+on the fly (exact rational midpoints, so even a hammer-insert workload that
+splits the same gap thousands of times never runs out of precision).
+"""
+
+from __future__ import annotations
+
+import abc
+from fractions import Fraction
+from typing import Hashable, Iterator, Sequence
+
+from repro.core.operations import Operation
+
+
+def synthesize_key(
+    reference: Sequence[Hashable], rank: int, *, spacing: int = 1
+) -> Fraction:
+    """A key strictly between the current keys of ranks ``rank - 1`` and ``rank``.
+
+    ``reference`` is the current sorted key sequence.  Exact rationals are
+    used so repeated splitting of the same gap (hammer-insert workloads)
+    never collides; ``spacing`` controls the gap left at the array ends.
+    """
+    lower = Fraction(reference[rank - 2]) if rank >= 2 else None
+    upper = Fraction(reference[rank - 1]) if rank - 1 < len(reference) else None
+    if lower is None and upper is None:
+        return Fraction(0)
+    if lower is None:
+        return upper - spacing
+    if upper is None:
+        return lower + spacing
+    return (lower + upper) / 2
+
+
+class Workload(abc.ABC):
+    """Base class: an operation stream plus sizing metadata."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "workload"
+
+    def __init__(self, operations: int, capacity: int) -> None:
+        if operations < 1:
+            raise ValueError("a workload needs at least one operation")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.operations = operations
+        self.capacity = capacity
+
+    def __len__(self) -> int:
+        return self.operations
+
+    @abc.abstractmethod
+    def __iter__(self) -> Iterator[Operation]:
+        """Yield the operation stream (may be consumed only once per call)."""
+
+    def describe(self) -> dict[str, object]:
+        """Metadata dictionary used by the benchmark report tables."""
+        return {
+            "name": self.name,
+            "operations": self.operations,
+            "capacity": self.capacity,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}(operations={self.operations}, capacity={self.capacity})"

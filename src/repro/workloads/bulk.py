@@ -1,0 +1,42 @@
+"""Bulk-load workloads: sorted runs inserted at random positions.
+
+Databases frequently ingest sorted batches (partitions, LSM flushes, bulk
+imports).  Each batch lands at a random point of the key space and is then
+inserted in ascending order, producing long runs of consecutive-rank
+insertions — locally sequential, globally random.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.operations import Operation
+from repro.workloads.base import Workload
+
+
+class BulkLoadWorkload(Workload):
+    """Insert ``operations`` elements as sorted batches of ``batch_size``."""
+
+    name = "bulk-load"
+
+    def __init__(
+        self, operations: int, *, batch_size: int = 32, seed: int = 0
+    ) -> None:
+        super().__init__(operations, capacity=operations)
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.batch_size = batch_size
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[Operation]:
+        rng = random.Random(self.seed)
+        size = 0
+        remaining = self.operations
+        while remaining > 0:
+            batch = min(self.batch_size, remaining)
+            start_rank = rng.randint(1, size + 1)
+            for offset in range(batch):
+                yield Operation.insert(start_rank + offset)
+                size += 1
+            remaining -= batch

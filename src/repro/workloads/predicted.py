@@ -1,0 +1,55 @@
+"""Prediction-augmented insertion workloads (Corollary 12).
+
+Corollary 12 considers ``n`` insertions ``x₁ … x_n`` with a rank predictor
+``P`` of maximum error ``η``.  This workload materializes the final key set
+up front (integers ``1 … n``), inserts the keys in a random order (carrying
+the key on each operation so the learned labeler can query the predictor),
+and exposes the matching :class:`~repro.algorithms.predictions.NoisyPredictor`
+with the requested error bound.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.algorithms.predictions import ExactPredictor, NoisyPredictor
+from repro.core.operations import Operation
+from repro.workloads.base import Workload
+
+
+class PredictedWorkload(Workload):
+    """Random-order insertion of a known key set, with a rank predictor."""
+
+    name = "predicted"
+
+    def __init__(self, operations: int, *, eta: int = 0, seed: int = 0) -> None:
+        super().__init__(operations, capacity=operations)
+        self.eta = eta
+        self.seed = seed
+        self.keys = list(range(1, operations + 1))
+        order = list(self.keys)
+        random.Random(seed).shuffle(order)
+        self._insertion_order = order
+        self.predictor = (
+            ExactPredictor(self.keys)
+            if eta == 0
+            else NoisyPredictor(self.keys, eta, salt=seed)
+        )
+        self.name = f"predicted(eta={eta})"
+
+    def __iter__(self) -> Iterator[Operation]:
+        import bisect
+
+        inserted: list[int] = []
+        for key in self._insertion_order:
+            # Rank of the key among the keys inserted so far.
+            rank = bisect.bisect_left(inserted, key) + 1
+            yield Operation.insert(rank, key=key)
+            bisect.insort(inserted, key)
+
+    def max_prediction_error(self) -> int:
+        """The realized maximum prediction error η of the attached predictor."""
+        if isinstance(self.predictor, NoisyPredictor):
+            return self.predictor.max_error()
+        return 0

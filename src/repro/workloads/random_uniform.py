@@ -1,0 +1,51 @@
+"""Uniformly random insertions and deletions.
+
+This is the canonical "average case" workload of the list-labeling
+literature: every insertion picks a uniformly random rank among the
+``size + 1`` possibilities, and (optionally) a fraction of operations are
+deletions of uniformly random ranks.  The classical PMA achieves its
+``O(log² n)`` amortized bound here, and the randomized variant should do at
+least as well — experiments E-BASE, E-GEN and E-SCALE all run on it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.operations import Operation
+from repro.workloads.base import Workload
+
+
+class RandomWorkload(Workload):
+    """Uniform random rank insertions with an optional deletion fraction."""
+
+    name = "uniform-random"
+
+    def __init__(
+        self,
+        operations: int,
+        capacity: int,
+        *,
+        delete_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(operations, capacity)
+        if not 0.0 <= delete_fraction < 1.0:
+            raise ValueError("delete_fraction must lie in [0, 1)")
+        self.delete_fraction = delete_fraction
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[Operation]:
+        rng = random.Random(self.seed)
+        size = 0
+        for _ in range(self.operations):
+            wants_delete = size > 0 and (
+                size >= self.capacity or rng.random() < self.delete_fraction
+            )
+            if wants_delete:
+                yield Operation.delete(rng.randint(1, size))
+                size -= 1
+            else:
+                yield Operation.insert(rng.randint(1, size + 1))
+                size += 1

@@ -1,0 +1,30 @@
+"""Sequential (append-only / prepend-only) insertion workloads.
+
+Bulk loading a database index in key order is the most common pattern in
+practice; it is also the pattern where naive structures shine (appending to
+a packed array is free) and where front-insertion (descending order) is the
+classic worst case for them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.operations import Operation
+from repro.workloads.base import Workload
+
+
+class SequentialWorkload(Workload):
+    """Insert ``operations`` elements in ascending or descending key order."""
+
+    def __init__(self, operations: int, *, ascending: bool = True) -> None:
+        super().__init__(operations, capacity=operations)
+        self.ascending = ascending
+        self.name = "sequential-ascending" if ascending else "sequential-descending"
+
+    def __iter__(self) -> Iterator[Operation]:
+        size = 0
+        for _ in range(self.operations):
+            rank = size + 1 if self.ascending else 1
+            yield Operation.insert(rank)
+            size += 1

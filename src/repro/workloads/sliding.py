@@ -1,0 +1,41 @@
+"""Sliding-window churn: insert at the back, delete from the front.
+
+This models time-ordered data with retention (message queues, time-series
+segments): once the window is full every insertion is paired with a deletion
+of the oldest element, so the structure operates at a constant size forever.
+It exercises the deletion paths and the lower density thresholds of the PMA
+family as well as the ghost-element handling of the embedding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.operations import Operation
+from repro.workloads.base import Workload
+
+
+class SlidingWindowWorkload(Workload):
+    """Append-only insertions with FIFO deletions beyond ``window`` elements."""
+
+    name = "sliding-window"
+
+    def __init__(self, operations: int, *, window: int) -> None:
+        super().__init__(operations, capacity=max(window, 1))
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+
+    def __iter__(self) -> Iterator[Operation]:
+        size = 0
+        emitted = 0
+        while emitted < self.operations:
+            if size >= self.window:
+                yield Operation.delete(1)
+                size -= 1
+                emitted += 1
+                if emitted >= self.operations:
+                    break
+            yield Operation.insert(size + 1)
+            size += 1
+            emitted += 1

@@ -1,0 +1,122 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import (
+    AdaptivePMA,
+    ClassicalPMA,
+    DeamortizedPMA,
+    LearnedLabeler,
+    NaiveLabeler,
+    NoisyPredictor,
+    RandomizedPMA,
+    SparseNaiveLabeler,
+)
+from repro.core import Embedding
+from repro.core.layered import make_corollary11_labeler
+from repro.core.validation import check_labeler
+
+
+def _learned_factory(capacity, num_slots=None):
+    keys = [Fraction(i) for i in range(1, capacity + 1)]
+    return LearnedLabeler(
+        capacity, num_slots, predictor=NoisyPredictor(keys, eta=max(1, capacity // 64))
+    )
+
+
+#: name -> factory(capacity) for every standalone algorithm.
+ALGORITHM_FACTORIES = {
+    "naive": lambda capacity: NaiveLabeler(capacity),
+    "sparse-naive": lambda capacity: SparseNaiveLabeler(capacity),
+    "classical": lambda capacity: ClassicalPMA(capacity),
+    "deamortized": lambda capacity: DeamortizedPMA(capacity),
+    "randomized": lambda capacity: RandomizedPMA(capacity, seed=1234),
+    "adaptive": lambda capacity: AdaptivePMA(capacity),
+    "learned": lambda capacity: _learned_factory(capacity),
+}
+
+#: name -> factory(capacity) for the composite structures of the paper.
+COMPOSITE_FACTORIES = {
+    "embedding(adaptive<|classical)": lambda capacity: Embedding(
+        capacity,
+        fast_factory=lambda cap, slots: AdaptivePMA(cap, slots),
+        reliable_factory=lambda cap, slots: ClassicalPMA(cap, slots),
+    ),
+    "embedding(naive<|classical)": lambda capacity: Embedding(
+        capacity,
+        fast_factory=lambda cap, slots: NaiveLabeler(cap, slots),
+        reliable_factory=lambda cap, slots: ClassicalPMA(cap, slots),
+        reliable_expected_cost=32,
+    ),
+    "corollary11": lambda capacity: make_corollary11_labeler(capacity, seed=7),
+}
+
+
+@pytest.fixture(params=sorted(ALGORITHM_FACTORIES))
+def algorithm_name(request):
+    return request.param
+
+
+@pytest.fixture
+def algorithm_factory(algorithm_name):
+    return ALGORITHM_FACTORIES[algorithm_name]
+
+
+class ReferenceDriver:
+    """Drives a labeler and a plain sorted-list reference model in lockstep.
+
+    Keys are exact rationals chosen between the rank neighbours, so the
+    reference model is a ground truth for both contents and order regardless
+    of how adversarial the rank sequence is.
+    """
+
+    def __init__(self, labeler, seed: int = 0):
+        self.labeler = labeler
+        self.reference: list[Fraction] = []
+        self.rng = random.Random(seed)
+        self.costs: list[int] = []
+
+    def key_for(self, rank: int) -> Fraction:
+        lower = self.reference[rank - 2] if rank >= 2 else None
+        upper = self.reference[rank - 1] if rank - 1 < len(self.reference) else None
+        if lower is None and upper is None:
+            return Fraction(0)
+        if lower is None:
+            return upper - 1
+        if upper is None:
+            return lower + 1
+        return (lower + upper) / 2
+
+    def insert(self, rank: int) -> int:
+        key = self.key_for(rank)
+        result = self.labeler.insert(rank, key)
+        self.reference.insert(rank - 1, key)
+        self.costs.append(result.cost)
+        return result.cost
+
+    def delete(self, rank: int) -> int:
+        result = self.labeler.delete(rank)
+        self.reference.pop(rank - 1)
+        self.costs.append(result.cost)
+        return result.cost
+
+    def random_operation(self, delete_probability: float = 0.3) -> int:
+        size = len(self.reference)
+        full = size >= self.labeler.capacity
+        if size and (full or self.rng.random() < delete_probability):
+            return self.delete(self.rng.randint(1, size))
+        return self.insert(self.rng.randint(1, size + 1))
+
+    def check(self) -> None:
+        check_labeler(self.labeler, expected=self.reference)
+        assert list(self.labeler.elements()) == self.reference
+
+
+@pytest.fixture
+def reference_driver_factory():
+    return ReferenceDriver

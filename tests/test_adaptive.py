@@ -1,0 +1,61 @@
+"""Tests for the adaptive (hotspot-skewing) PMA."""
+
+from __future__ import annotations
+
+from repro.algorithms import AdaptivePMA, ClassicalPMA
+from repro.analysis import run_workload
+from repro.workloads import HammerWorkload, RandomWorkload
+
+from tests.conftest import ReferenceDriver
+
+
+class TestHotspotTracking:
+    def test_hits_concentrate_under_hammering(self):
+        labeler = AdaptivePMA(256)
+        driver = ReferenceDriver(labeler, seed=1)
+        for _ in range(20):
+            driver.insert(len(driver.reference) + 1)
+        for _ in range(100):
+            driver.insert(5)
+        hits = labeler._leaf_hits
+        total = sum(hits)
+        assert total > 0
+        # Hammering one rank concentrates the (decayed) hit mass on few leaves.
+        assert max(hits) > 0.2 * total
+        assert max(hits) > 5.0
+
+    def test_targets_skew_toward_insertion_point(self):
+        labeler = AdaptivePMA(256)
+        targets = labeler._rebalance_targets(0, 64, 16, insert_slot_hint=0)
+        gaps = [targets[0]] + [b - a - 1 for a, b in zip(targets, targets[1:])]
+        # The gap right at the hinted insertion point should receive more free
+        # slots than the average gap.
+        assert gaps[1] >= (64 - 16) / 17
+
+    def test_targets_remain_sorted_and_in_window(self):
+        labeler = AdaptivePMA(128)
+        targets = labeler._rebalance_targets(32, 96, 20, insert_slot_hint=10)
+        assert targets == sorted(set(targets))
+        assert all(32 <= t < 96 for t in targets)
+
+
+class TestAdaptiveAdvantage:
+    def test_beats_classical_on_hammer_inserts(self):
+        """The adaptive PMA must beat the classical PMA by a clear factor on
+        hammer-insert workloads (the [18] guarantee Corollary 11 consumes)."""
+        n = 2048
+        adaptive = run_workload(AdaptivePMA(n), HammerWorkload(n, seed=3))
+        classical = run_workload(ClassicalPMA(n), HammerWorkload(n, seed=3))
+        assert adaptive.amortized_cost < classical.amortized_cost / 1.5
+
+    def test_not_much_worse_on_uniform_random(self):
+        n = 1024
+        adaptive = run_workload(AdaptivePMA(n), RandomWorkload(n, n, seed=3))
+        classical = run_workload(ClassicalPMA(n), RandomWorkload(n, n, seed=3))
+        assert adaptive.amortized_cost < 2.5 * classical.amortized_cost
+
+    def test_consistency_under_mixed_workload(self):
+        driver = ReferenceDriver(AdaptivePMA(96), seed=8)
+        for _ in range(400):
+            driver.random_operation()
+        driver.check()

@@ -1,0 +1,92 @@
+"""Tests for the measurement layer (runner, curve fitting, reports)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import ClassicalPMA, NaiveLabeler
+from repro.analysis import (
+    estimate_log_exponent,
+    format_table,
+    growth_ratios,
+    run_workload,
+)
+from repro.analysis.curves import normalized_by_log_power
+from repro.workloads import RandomWorkload, SequentialWorkload
+
+
+class TestRunner:
+    def test_run_workload_records_every_operation(self):
+        result = run_workload(ClassicalPMA(128), RandomWorkload(128, 128, seed=1))
+        assert result.tracker.operations == 128
+        assert result.total_cost == result.tracker.total_cost
+        assert result.workload_name == "uniform-random"
+        assert len(result.final_keys) == len(result.labeler)
+
+    def test_validation_hook_runs(self):
+        result = run_workload(
+            ClassicalPMA(64), RandomWorkload(96, 64, delete_fraction=0.3, seed=2),
+            validate_every=16,
+        )
+        assert result.tracker.operations == 96
+
+    def test_stop_after_truncates(self):
+        result = run_workload(NaiveLabeler(64), SequentialWorkload(64), stop_after=10)
+        assert result.tracker.operations == 10
+
+    def test_keys_from_workload_are_used(self):
+        from repro.workloads import PredictedWorkload
+
+        workload = PredictedWorkload(32, eta=0, seed=3)
+        result = run_workload(ClassicalPMA(32), workload)
+        assert sorted(result.final_keys) == workload.keys
+
+
+class TestCurves:
+    def test_exponent_of_synthetic_log_squared(self):
+        sizes = [2**k for k in range(8, 16)]
+        costs = [math.log2(n) ** 2 for n in sizes]
+        assert estimate_log_exponent(sizes, costs) == pytest.approx(2.0, abs=0.05)
+
+    def test_exponent_of_synthetic_log(self):
+        sizes = [2**k for k in range(8, 16)]
+        costs = [5 * math.log2(n) for n in sizes]
+        assert estimate_log_exponent(sizes, costs) == pytest.approx(1.0, abs=0.05)
+
+    def test_exponent_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            estimate_log_exponent([16], [3.0])
+        with pytest.raises(ValueError):
+            estimate_log_exponent([2, 4], [1.0, 2.0])
+
+    def test_growth_ratios(self):
+        assert growth_ratios([1, 2, 3], [2.0, 4.0, 8.0]) == [2.0, 2.0]
+
+    def test_normalized_by_log_power_constant_for_matching_power(self):
+        sizes = [2**k for k in range(8, 14)]
+        costs = [3 * math.log2(n) ** 2 for n in sizes]
+        normalized = normalized_by_log_power(sizes, costs, 2.0)
+        assert max(normalized) - min(normalized) < 1e-9
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        rows = [
+            {"algorithm": "classical", "amortized": 4.5, "worst": 300},
+            {"algorithm": "layered", "amortized": 5.25, "worst": 80},
+        ]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "algorithm" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_selected_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]

@@ -1,0 +1,142 @@
+"""Tests for the application layers (ordered map, order maintenance)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms import ClassicalPMA
+from repro.applications import OrderMaintenance, PackedMemoryMap
+
+
+def classical_factory(capacity: int) -> ClassicalPMA:
+    return ClassicalPMA(capacity)
+
+
+class TestPackedMemoryMap:
+    def test_set_get_delete(self):
+        index = PackedMemoryMap(64, classical_factory)
+        index[10] = "ten"
+        index[5] = "five"
+        index[20] = "twenty"
+        assert len(index) == 3
+        assert index[5] == "five"
+        assert index.get(99) is None
+        del index[10]
+        assert 10 not in index
+        assert index.keys() == [5, 20]
+        index.check()
+
+    def test_overwrite_does_not_duplicate(self):
+        index = PackedMemoryMap(16, classical_factory)
+        index[1] = "a"
+        index[1] = "b"
+        assert len(index) == 1
+        assert index[1] == "b"
+
+    def test_missing_key_errors(self):
+        index = PackedMemoryMap(8, classical_factory)
+        with pytest.raises(KeyError):
+            _ = index[3]
+        with pytest.raises(KeyError):
+            del index[3]
+
+    def test_ordered_queries(self):
+        index = PackedMemoryMap(128, classical_factory)
+        for key in range(0, 100, 2):
+            index[key] = key * 10
+        assert index.predecessor(51) == 50
+        assert index.successor(50) == 52
+        assert index.predecessor(0) is None
+        assert index.successor(98) is None
+        assert list(index.range(10, 16)) == [(10, 100), (12, 120), (14, 140), (16, 160)]
+
+    def test_labels_monotone_and_costs_tracked(self):
+        index = PackedMemoryMap(256, classical_factory)
+        rng = random.Random(5)
+        keys = rng.sample(range(10_000), 200)
+        for key in keys:
+            index[key] = key
+        labels = [index.label_of(key) for key in sorted(keys)]
+        assert labels == sorted(labels)
+        assert index.costs.operations == 200
+        assert index.costs.amortized >= 1.0
+        index.check()
+
+    def test_default_layered_backend(self):
+        index = PackedMemoryMap(64)
+        for key in range(40):
+            index[key] = key
+        assert index.keys() == list(range(40))
+        index.check()
+
+
+class TestOrderMaintenance:
+    def test_insert_relations(self):
+        order = OrderMaintenance(32, classical_factory)
+        order.insert_first("b")
+        order.insert_before("b", "a")
+        order.insert_after("b", "d")
+        order.insert_after("b", "c")
+        order.insert_last("e")
+        assert list(order) == ["a", "b", "c", "d", "e"]
+        order.check()
+
+    def test_precedes_matches_order(self):
+        order = OrderMaintenance(64, classical_factory)
+        order.insert_first("x")
+        previous = "x"
+        for index in range(30):
+            item = f"item-{index}"
+            order.insert_after(previous, item)
+            previous = item
+        assert order.precedes("x", "item-0")
+        assert order.precedes("item-3", "item-17")
+        assert not order.precedes("item-17", "item-3")
+
+    def test_delete_and_membership(self):
+        order = OrderMaintenance(16, classical_factory)
+        order.insert_first("a")
+        order.insert_after("a", "b")
+        order.delete("a")
+        assert "a" not in order
+        assert list(order) == ["b"]
+        with pytest.raises(KeyError):
+            order.label_of("a")
+        with pytest.raises(KeyError):
+            order.insert_after("a", "c")
+
+    def test_duplicate_rejected(self):
+        order = OrderMaintenance(8, classical_factory)
+        order.insert_first("a")
+        with pytest.raises(ValueError):
+            order.insert_last("a")
+
+    def test_random_interleaving_stays_consistent(self):
+        order = OrderMaintenance(128, classical_factory)
+        rng = random.Random(11)
+        items = [f"v{i}" for i in range(100)]
+        order.insert_first(items[0])
+        present = [items[0]]
+        for item in items[1:]:
+            anchor = rng.choice(present)
+            if rng.random() < 0.5:
+                order.insert_after(anchor, item)
+            else:
+                order.insert_before(anchor, item)
+            present.append(item)
+        order.check()
+        sequence = list(order)
+        for _ in range(50):
+            first, second = rng.sample(sequence, 2)
+            expected = sequence.index(first) < sequence.index(second)
+            assert order.precedes(first, second) == expected
+
+    def test_default_layered_backend(self):
+        order = OrderMaintenance(32)
+        order.insert_first(0)
+        for index in range(1, 20):
+            order.insert_after(index - 1, index)
+        assert list(order) == list(range(20))
+        order.check()

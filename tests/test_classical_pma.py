@@ -1,0 +1,71 @@
+"""Tests specific to the classical packed-memory array."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.algorithms import ClassicalPMA, NaiveLabeler
+from repro.analysis import run_workload
+from repro.workloads import RandomWorkload
+
+from tests.conftest import ReferenceDriver
+
+
+class TestGeometry:
+    def test_segment_size_is_logarithmic(self):
+        pma = ClassicalPMA(1024)
+        assert pma.segment_size == pytest.approx(math.log2(pma.num_slots), abs=2)
+
+    def test_thresholds_interpolate(self):
+        pma = ClassicalPMA(256)
+        assert pma.upper_threshold(0) >= pma.upper_threshold(pma.height)
+        assert pma.lower_threshold(0) <= pma.lower_threshold(pma.height)
+        assert pma.lower_threshold(pma.height) < pma.upper_threshold(pma.height)
+
+    def test_window_bounds_contain_slot_and_are_nested(self):
+        pma = ClassicalPMA(512)
+        slot = 100
+        previous = (slot, slot + 1)
+        for level in range(pma.height + 1):
+            lo, hi = pma._window_bounds(slot, level)
+            assert lo <= slot < hi
+            assert lo <= previous[0] and previous[1] <= hi
+            previous = (lo, hi)
+        assert pma._window_bounds(slot, pma.height) == (0, pma.num_slots)
+
+    def test_root_threshold_allows_full_capacity(self):
+        pma = ClassicalPMA(100, num_slots=110)
+        assert pma.upper_threshold(pma.height) >= 100 / 110
+
+
+class TestRebalancing:
+    def test_rebalances_happen_and_are_counted(self):
+        driver = ReferenceDriver(ClassicalPMA(256), seed=2)
+        for _ in range(256):
+            driver.insert(1)  # front hammering forces rebalances
+        driver.check()
+        assert driver.labeler.rebalance_count > 0
+        assert driver.labeler.rebalance_moves > 0
+
+    def test_even_targets_are_strictly_increasing(self):
+        targets = ClassicalPMA.even_targets(10, 30, 7)
+        assert targets == sorted(set(targets))
+        assert all(10 <= t < 30 for t in targets)
+
+    def test_even_targets_reject_overflow(self):
+        with pytest.raises(ValueError):
+            ClassicalPMA.even_targets(0, 3, 4)
+
+
+class TestCostProfile:
+    def test_amortized_cost_is_polylogarithmic(self):
+        """On uniform random insertions the amortized cost must be far below
+        the naive labeler's Θ(n)."""
+        n = 1024
+        pma_run = run_workload(ClassicalPMA(n), RandomWorkload(n, n, seed=1))
+        naive_run = run_workload(NaiveLabeler(n), RandomWorkload(n, n, seed=1))
+        assert pma_run.amortized_cost < naive_run.amortized_cost / 5
+        log_sq = math.log2(n) ** 2
+        assert pma_run.amortized_cost < 3 * log_sq

@@ -1,0 +1,104 @@
+"""Tests for the cost tracker: amortized, worst-case and windowed statistics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import CostTracker
+
+
+class TestBasicStatistics:
+    def test_empty_tracker(self):
+        tracker = CostTracker()
+        assert tracker.operations == 0
+        assert tracker.amortized == 0.0
+        assert tracker.worst_case == 0
+        assert tracker.max_prefix_amortized() == 0.0
+
+    def test_record_and_summaries(self):
+        tracker = CostTracker()
+        tracker.record_many([1, 5, 0, 2])
+        assert tracker.operations == 4
+        assert tracker.total_cost == 8
+        assert tracker.amortized == 2.0
+        assert tracker.worst_case == 5
+
+    def test_negative_cost_rejected(self):
+        tracker = CostTracker()
+        with pytest.raises(ValueError):
+            tracker.record(-1)
+
+    def test_prefix_amortized_matches_definition(self):
+        tracker = CostTracker()
+        tracker.record_many([4, 0, 2])
+        assert tracker.prefix_amortized() == [4.0, 2.0, 2.0]
+        assert tracker.max_prefix_amortized() == 4.0
+
+    def test_percentiles_and_tail(self):
+        tracker = CostTracker()
+        tracker.record_many([1] * 99 + [100])
+        assert tracker.percentile(0.5) == 1
+        assert tracker.percentile(1.0) == 100
+        assert tracker.tail_fraction(100) == pytest.approx(0.01)
+
+    def test_merge_concatenates(self):
+        first = CostTracker()
+        first.record_many([1, 2])
+        second = CostTracker()
+        second.record_many([3])
+        merged = first.merge(second)
+        assert merged.operations == 3
+        assert merged.total_cost == 6
+
+
+class TestWindowStatistics:
+    def test_worst_window_found(self):
+        tracker = CostTracker()
+        tracker.record_many([0, 0, 10, 10, 0, 0])
+        stats = tracker.window_statistics(2)
+        assert stats.max_total == 20
+        assert stats.max_start == 2
+        assert stats.max_average == 10.0
+
+    def test_window_larger_than_run_is_clamped(self):
+        tracker = CostTracker()
+        tracker.record_many([1, 2])
+        stats = tracker.window_statistics(10)
+        assert stats.window == 2
+        assert stats.max_total == 3
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostTracker().window_statistics(0)
+
+    def test_lightly_amortized_bound_subtracts_slack(self):
+        tracker = CostTracker()
+        tracker.record_many([0] * 10 + [50] + [0] * 10)
+        # A window of 5 catching the spike has total 50; with slack 50 the
+        # residual per-operation constant is zero.
+        assert tracker.lightly_amortized_bound(5, slack=50) == 0.0
+        assert tracker.lightly_amortized_bound(5, slack=0) == pytest.approx(10.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(costs=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=60),
+           window=st.integers(min_value=1, max_value=10))
+    def test_window_statistics_match_bruteforce(self, costs, window):
+        tracker = CostTracker()
+        tracker.record_many(costs)
+        stats = tracker.window_statistics(window)
+        effective = min(window, len(costs))
+        brute = max(
+            sum(costs[start:start + effective])
+            for start in range(len(costs) - effective + 1)
+        )
+        assert stats.max_total == brute
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        tracker = CostTracker()
+        tracker.record_many([1, 2, 3])
+        summary = tracker.summary()
+        assert set(summary) == {"operations", "total_cost", "amortized", "worst_case", "p50", "p99"}

@@ -1,0 +1,61 @@
+"""Tests for the deamortized (worst-case bounded) PMA."""
+
+from __future__ import annotations
+
+from repro.algorithms import ClassicalPMA, DeamortizedPMA
+from repro.analysis import run_workload
+from repro.workloads import HammerWorkload, RandomWorkload, SequentialWorkload
+
+from tests.conftest import ReferenceDriver
+
+
+class TestWorkCap:
+    def test_work_cap_is_polylogarithmic(self):
+        pma = DeamortizedPMA(4096)
+        assert pma.work_cap <= 4 * (13**2)  # ~ work_factor * log2(m)^2
+
+    def test_worst_case_is_far_below_classical(self):
+        n = 1024
+        classical = run_workload(ClassicalPMA(n), RandomWorkload(n, n, seed=5))
+        deamortized = run_workload(DeamortizedPMA(n), RandomWorkload(n, n, seed=5))
+        assert deamortized.worst_case_cost < classical.worst_case_cost / 2
+        # The incremental tasks must not blow up the amortized cost either.
+        assert deamortized.amortized_cost < 4 * classical.amortized_cost + 10
+
+    def test_worst_case_bounded_on_hammer(self):
+        n = 1024
+        run = run_workload(DeamortizedPMA(n), HammerWorkload(n, seed=2))
+        assert run.worst_case_cost <= 3 * DeamortizedPMA(n).work_cap
+
+    def test_worst_case_bounded_on_sequential(self):
+        n = 1024
+        run = run_workload(DeamortizedPMA(n), SequentialWorkload(n))
+        assert run.worst_case_cost <= 3 * DeamortizedPMA(n).work_cap
+
+
+class TestBackgroundTasks:
+    def test_tasks_drain_and_forced_rebalances_are_rare(self):
+        n = 1024
+        labeler = DeamortizedPMA(n)
+        run_workload(labeler, RandomWorkload(n, n, seed=7))
+        assert labeler.background_moves > 0
+        assert labeler.forced_rebalances <= n // 50
+
+    def test_consistency_under_churn(self):
+        driver = ReferenceDriver(DeamortizedPMA(128), seed=13)
+        for step in range(600):
+            driver.random_operation(delete_probability=0.4)
+            if step % 150 == 0:
+                driver.check()
+        driver.check()
+
+    def test_deletions_never_rebalance(self):
+        labeler = DeamortizedPMA(64)
+        driver = ReferenceDriver(labeler, seed=1)
+        for _ in range(64):
+            driver.insert(len(driver.reference) + 1)
+        delete_costs = [driver.delete(1) for _ in range(32)]
+        # Deletion itself costs no moves (background task work may add some,
+        # but an empty task queue means zero).
+        assert min(delete_costs) == 0
+        driver.check()

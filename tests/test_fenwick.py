@@ -1,0 +1,105 @@
+"""Unit and property tests for the Fenwick occupancy tree."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fenwick import FenwickTree
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = FenwickTree(8)
+        assert tree.total == 0
+        assert tree.prefix(8) == 0
+        assert tree.count(0, 8) == 0
+
+    def test_set_and_prefix(self):
+        tree = FenwickTree(10)
+        tree.set(3, 1)
+        tree.set(7, 1)
+        assert tree.total == 2
+        assert tree.prefix(4) == 1
+        assert tree.prefix(8) == 2
+        assert tree.count(4, 8) == 1
+
+    def test_set_idempotent(self):
+        tree = FenwickTree(5)
+        tree.set(2, 1)
+        tree.set(2, 1)
+        assert tree.total == 1
+        tree.set(2, 0)
+        tree.set(2, 0)
+        assert tree.total == 0
+
+    def test_set_rejects_non_binary(self):
+        tree = FenwickTree(4)
+        with pytest.raises(ValueError):
+            tree.set(0, 2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FenwickTree(-1)
+
+    def test_value_roundtrip(self):
+        tree = FenwickTree(6)
+        tree.set(5, 1)
+        assert tree.value(5) == 1
+        assert tree.value(0) == 0
+
+
+class TestSelect:
+    def test_select_finds_kth_occupied(self):
+        tree = FenwickTree(10)
+        occupied = [1, 4, 5, 9]
+        for index in occupied:
+            tree.set(index, 1)
+        for k, index in enumerate(occupied, start=1):
+            assert tree.select(k) == index
+
+    def test_select_out_of_range(self):
+        tree = FenwickTree(4)
+        tree.set(0, 1)
+        with pytest.raises(IndexError):
+            tree.select(2)
+        with pytest.raises(IndexError):
+            tree.select(0)
+
+    def test_rank_of(self):
+        tree = FenwickTree(8)
+        tree.set(2, 1)
+        tree.set(6, 1)
+        assert tree.rank_of(2) == 1
+        assert tree.rank_of(6) == 2
+
+    def test_rank_of_unoccupied_raises(self):
+        tree = FenwickTree(8)
+        with pytest.raises(ValueError):
+            tree.rank_of(3)
+
+
+class TestAgainstReference:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=64),
+        updates=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=63), st.booleans()),
+            max_size=80,
+        ),
+    )
+    def test_matches_naive_bit_vector(self, size, updates):
+        tree = FenwickTree(size)
+        reference = [0] * size
+        for index, bit in updates:
+            if index >= size:
+                continue
+            tree.set(index, int(bit))
+            reference[index] = int(bit)
+        assert tree.total == sum(reference)
+        for end in range(size + 1):
+            assert tree.prefix(end) == sum(reference[:end])
+        occupied = [i for i, bit in enumerate(reference) if bit]
+        for k, index in enumerate(occupied, start=1):
+            assert tree.select(k) == index

@@ -1,0 +1,96 @@
+"""Tests for the abstract ListLabeler interface and its validation wrappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import NaiveLabeler
+from repro.core import Operation
+from repro.core.exceptions import CapacityError, RankError
+
+
+class TestRankValidation:
+    def test_insert_rank_bounds(self):
+        labeler = NaiveLabeler(4)
+        with pytest.raises(RankError):
+            labeler.insert(0, "x")
+        with pytest.raises(RankError):
+            labeler.insert(2, "x")  # size is 0, only rank 1 is legal
+        labeler.insert(1, "a")
+        labeler.insert(2, "b")
+        with pytest.raises(RankError):
+            labeler.insert(4, "c")
+
+    def test_delete_rank_bounds(self):
+        labeler = NaiveLabeler(4)
+        with pytest.raises(RankError):
+            labeler.delete(1)
+        labeler.insert(1, "a")
+        with pytest.raises(RankError):
+            labeler.delete(2)
+
+    def test_capacity_enforced(self):
+        labeler = NaiveLabeler(2)
+        labeler.insert(1, "a")
+        labeler.insert(2, "b")
+        with pytest.raises(CapacityError):
+            labeler.insert(1, "c")
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NaiveLabeler(0)
+
+    def test_num_slots_not_below_capacity(self):
+        with pytest.raises(ValueError):
+            NaiveLabeler(10, num_slots=5)
+
+
+class TestViews:
+    def test_size_and_len(self):
+        labeler = NaiveLabeler(4)
+        labeler.insert(1, 10)
+        labeler.insert(2, 20)
+        assert len(labeler) == labeler.size == 2
+        assert not labeler.is_empty
+        assert not labeler.is_full
+
+    def test_elements_in_order(self):
+        labeler = NaiveLabeler(4)
+        labeler.insert(1, 20)
+        labeler.insert(1, 10)
+        labeler.insert(3, 30)
+        assert labeler.elements() == [10, 20, 30]
+        assert list(iter(labeler)) == [10, 20, 30]
+
+    def test_labels_are_monotone_in_rank(self):
+        labeler = NaiveLabeler(8)
+        for index in range(5):
+            labeler.insert(index + 1, index)
+        labels = labeler.labels()
+        ordered = [labels[element] for element in sorted(labels)]
+        assert ordered == sorted(ordered)
+
+    def test_slot_of(self):
+        labeler = NaiveLabeler(4)
+        labeler.insert(1, "a")
+        assert labeler.slot_of("a") == 0
+        with pytest.raises(KeyError):
+            labeler.slot_of("missing")
+
+
+class TestApply:
+    def test_apply_insert_uses_key(self):
+        labeler = NaiveLabeler(4)
+        labeler.apply(Operation.insert(1, key="k"))
+        assert labeler.elements() == ["k"]
+
+    def test_apply_insert_generates_element(self):
+        labeler = NaiveLabeler(4)
+        labeler.apply(Operation.insert(1))
+        assert len(labeler) == 1
+
+    def test_apply_delete(self):
+        labeler = NaiveLabeler(4)
+        labeler.insert(1, "a")
+        labeler.apply(Operation.delete(1))
+        assert labeler.is_empty

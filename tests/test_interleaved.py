@@ -1,0 +1,70 @@
+"""Tests for the naive-interleaving strawman (the Deadweight Problem)."""
+
+from __future__ import annotations
+
+from repro.algorithms import AdaptivePMA, ClassicalPMA, NaiveLabeler
+from repro.core import Embedding, InterleavedComposition
+
+from tests.conftest import ReferenceDriver
+
+
+def make_interleaved(capacity: int) -> InterleavedComposition:
+    return InterleavedComposition(
+        capacity,
+        first_factory=lambda cap, _: AdaptivePMA(cap),
+        second_factory=lambda cap, _: ClassicalPMA(cap),
+    )
+
+
+class TestCostModel:
+    def test_insert_and_delete_account_costs(self):
+        composition = make_interleaved(32)
+        total = 0
+        for index in range(20):
+            total += composition.insert(index + 1, index)
+        assert composition.size == 20
+        assert composition.total_cost == total
+        composition.delete(1)
+        assert composition.size == 19
+
+    def test_rank_validation(self):
+        composition = make_interleaved(8)
+        composition.insert(1, 0)
+        try:
+            composition.insert(5, 1)
+        except ValueError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("out-of-range rank must be rejected")
+
+    def test_deadweight_accumulates(self):
+        """The strawman's defining failure: elements of one component are
+        dragged around repeatedly by the other component's rebalances."""
+        composition = make_interleaved(512)
+        for index in range(400):
+            composition.insert(1, 1000 - index)
+        assert composition.total_deadweight > 0
+        # Some unlucky element is carried around many times — unlike the
+        # embedding, which bounds deadweight per element by a constant.
+        assert composition.max_deadweight_per_element > 8
+
+    def test_embedding_beats_strawman_on_deadweight(self):
+        capacity = 384
+        composition = make_interleaved(capacity)
+        for index in range(capacity):
+            composition.insert(1, capacity - index)
+
+        embedding = Embedding(
+            capacity,
+            fast_factory=lambda cap, slots: AdaptivePMA(cap, slots),
+            reliable_factory=lambda cap, slots: ClassicalPMA(cap, slots),
+        )
+        driver = ReferenceDriver(embedding, seed=1)
+        for _ in range(capacity):
+            driver.insert(1)
+
+        per_element_embedding = max(
+            embedding.physical.deadweight_by_element.values(), default=0
+        )
+        assert per_element_embedding <= 8
+        assert composition.max_deadweight_per_element > per_element_embedding

@@ -1,0 +1,99 @@
+"""Tests for the layered composition X ⊳ (Y ⊳ Z) (Theorem 3, Corollaries 11–12)."""
+
+from __future__ import annotations
+
+from repro.analysis import run_workload
+from repro.algorithms import AdaptivePMA, ClassicalPMA, NaiveLabeler
+from repro.core import Embedding, make_corollary11_labeler, make_corollary12_labeler
+from repro.core.layered import LayeredLabeler, embedding_factory
+from repro.workloads import HammerWorkload, PredictedWorkload, RandomWorkload
+
+from tests.conftest import ReferenceDriver
+
+
+class TestStructure:
+    def test_inner_embedding_is_the_shell(self):
+        labeler = make_corollary11_labeler(64, seed=1)
+        inner = labeler.inner_embedding
+        assert isinstance(inner, Embedding)
+        assert inner.num_slots == labeler.num_slots
+
+    def test_embedding_factory_respects_prescribed_size(self):
+        factory = embedding_factory(
+            lambda cap, slots: NaiveLabeler(cap, slots),
+            lambda cap, slots: ClassicalPMA(cap, slots),
+        )
+        built = factory(100, 180)
+        assert built.capacity == 100
+        assert built.num_slots == 180
+
+
+class TestCorollary11:
+    def test_consistency_on_mixed_workload(self):
+        driver = ReferenceDriver(make_corollary11_labeler(96, seed=2), seed=3)
+        for step in range(400):
+            driver.random_operation(delete_probability=0.25)
+            if step % 200 == 0:
+                driver.check()
+        driver.check()
+        driver.labeler.check_consistency()
+
+    def test_all_three_guarantees_hold_simultaneously(self):
+        """Corollary 11: adaptive on hammer, bounded expected cost on random,
+        bounded worst case everywhere — all from one structure."""
+        n = 512
+        layered_hammer = run_workload(
+            make_corollary11_labeler(n, seed=4), HammerWorkload(n, seed=1)
+        )
+        classical_hammer = run_workload(ClassicalPMA(n), HammerWorkload(n, seed=1))
+        layered_random = run_workload(
+            make_corollary11_labeler(n, seed=4), RandomWorkload(n, n, seed=1)
+        )
+        naive_random = run_workload(NaiveLabeler(n), RandomWorkload(n, n, seed=1))
+
+        # Adaptive bound: not worse than the non-adaptive classical PMA.
+        assert layered_hammer.amortized_cost < 1.5 * classical_hammer.amortized_cost
+        # Expected-cost bound: far cheaper than the naive baseline.
+        assert layered_random.amortized_cost < naive_random.amortized_cost / 4
+        # Worst-case bound: no Θ(n) spike on either workload.
+        assert layered_hammer.worst_case_cost < n / 2
+        assert layered_random.worst_case_cost < n / 2
+
+
+class TestCorollary12:
+    def test_prediction_quality_drives_cost(self):
+        n = 384
+        good = PredictedWorkload(n, eta=1, seed=5)
+        bad = PredictedWorkload(n, eta=n // 2, seed=5)
+        good_run = run_workload(
+            make_corollary12_labeler(n, good.predictor, seed=6), good
+        )
+        bad_run = run_workload(
+            make_corollary12_labeler(n, bad.predictor, seed=6), bad
+        )
+        assert good_run.amortized_cost <= bad_run.amortized_cost
+        # Even with terrible predictions the worst case stays far from Θ(n).
+        assert bad_run.worst_case_cost < n / 2
+
+    def test_consistency(self):
+        n = 128
+        workload = PredictedWorkload(n, eta=4, seed=7)
+        labeler = make_corollary12_labeler(n, workload.predictor, seed=8)
+        result = run_workload(labeler, workload, validate_every=64)
+        labeler.check_consistency()
+        assert result.tracker.operations == n
+
+
+class TestCustomComposition:
+    def test_three_custom_factories(self):
+        labeler = LayeredLabeler(
+            64,
+            adaptive_factory=lambda cap, slots: AdaptivePMA(cap, slots),
+            expected_factory=lambda cap, slots: ClassicalPMA(cap, slots),
+            worst_case_factory=lambda cap, slots: ClassicalPMA(cap, slots),
+        )
+        driver = ReferenceDriver(labeler, seed=9)
+        for _ in range(200):
+            driver.random_operation()
+        driver.check()
+        labeler.check_consistency()

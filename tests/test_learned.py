@@ -1,0 +1,57 @@
+"""Tests for the learning-augmented list labeler (Corollary 12's X)."""
+
+from __future__ import annotations
+
+from repro.algorithms import ClassicalPMA, ExactPredictor, LearnedLabeler, NoisyPredictor
+from repro.analysis import run_workload
+from repro.workloads import PredictedWorkload
+
+from tests.conftest import ReferenceDriver
+
+
+def _labeler_for(workload: PredictedWorkload) -> LearnedLabeler:
+    return LearnedLabeler(workload.capacity, predictor=workload.predictor)
+
+
+class TestPredictionSteering:
+    def test_predicted_slot_is_monotone_in_rank(self):
+        keys = list(range(1, 101))
+        labeler = LearnedLabeler(100, predictor=ExactPredictor(keys))
+        slots = [labeler.predicted_slot(key) for key in keys]
+        assert slots == sorted(slots)
+
+    def test_unknown_key_falls_back_gracefully(self):
+        labeler = LearnedLabeler(32, predictor=ExactPredictor(range(32)))
+        assert labeler.predicted_slot("unseen-key") is None
+
+    def test_rebalance_targets_valid(self):
+        keys = list(range(1, 65))
+        labeler = LearnedLabeler(64, predictor=NoisyPredictor(keys, eta=4))
+        driver = ReferenceDriver(labeler, seed=1)
+        for _ in range(50):
+            driver.random_operation(delete_probability=0.1)
+        driver.check()
+
+
+class TestErrorDependence:
+    def test_good_predictions_beat_bad_predictions(self):
+        """Amortized cost must grow with the prediction error η (Corollary 12)."""
+        n = 1024
+        good_workload = PredictedWorkload(n, eta=1, seed=2)
+        bad_workload = PredictedWorkload(n, eta=n // 2, seed=2)
+        good = run_workload(_labeler_for(good_workload), good_workload)
+        bad = run_workload(_labeler_for(bad_workload), bad_workload)
+        assert good.amortized_cost < bad.amortized_cost
+
+    def test_exact_predictions_beat_classical_pma(self):
+        n = 1024
+        workload = PredictedWorkload(n, eta=0, seed=4)
+        learned = run_workload(_labeler_for(workload), workload)
+        classical = run_workload(ClassicalPMA(n), PredictedWorkload(n, eta=0, seed=4))
+        assert learned.amortized_cost < classical.amortized_cost
+
+    def test_contents_match_reference_on_predicted_workload(self):
+        n = 256
+        workload = PredictedWorkload(n, eta=8, seed=6)
+        result = run_workload(_labeler_for(workload), workload, validate_every=64)
+        assert sorted(result.final_keys) == result.final_keys

@@ -1,0 +1,63 @@
+"""Tests for the naive baseline labelers."""
+
+from __future__ import annotations
+
+from repro.algorithms import NaiveLabeler, SparseNaiveLabeler
+
+from tests.conftest import ReferenceDriver
+
+
+class TestNaiveLabeler:
+    def test_append_is_cheap(self):
+        labeler = NaiveLabeler(128)
+        costs = [labeler.insert(i + 1, i).cost for i in range(100)]
+        assert all(cost == 1 for cost in costs)
+
+    def test_front_insert_is_linear(self):
+        labeler = NaiveLabeler(128)
+        for i in range(100):
+            labeler.insert(i + 1, i)
+        cost = labeler.insert(1, -1).cost
+        assert cost == 101  # every element shifted plus the placement
+
+    def test_delete_shifts_suffix(self):
+        labeler = NaiveLabeler(16)
+        for i in range(10):
+            labeler.insert(i + 1, i)
+        cost = labeler.delete(1).cost
+        assert cost == 9
+        assert labeler.elements() == list(range(1, 10))
+
+    def test_elements_stay_packed(self):
+        driver = ReferenceDriver(NaiveLabeler(32), seed=9)
+        for _ in range(100):
+            driver.random_operation()
+        driver.check()
+        slots = driver.labeler.slots()
+        occupied = [i for i, item in enumerate(slots) if item is not None]
+        assert occupied == list(range(len(occupied)))
+
+
+class TestSparseNaiveLabeler:
+    def test_insert_into_gap_is_constant(self):
+        labeler = SparseNaiveLabeler(64)
+        labeler.insert(1, 10)
+        labeler.insert(2, 20)
+        cost = labeler.insert(2, 15).cost
+        assert cost == 1
+
+    def test_rebuild_when_neighbourhood_packed(self):
+        labeler = SparseNaiveLabeler(64)
+        for i in range(32):
+            labeler.insert(i + 1, i * 100)
+        # Hammer one gap until a full rebuild is forced at least once; the
+        # keys decrease because each insertion lands *before* the previous one.
+        costs = [labeler.insert(5, 399 - i).cost for i in range(20)]
+        assert max(costs) > 10  # at least one rebuild happened
+        assert labeler.elements() == sorted(labeler.elements())
+
+    def test_mixed_workload_consistency(self):
+        driver = ReferenceDriver(SparseNaiveLabeler(48), seed=4)
+        for _ in range(200):
+            driver.random_operation()
+        driver.check()

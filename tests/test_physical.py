@@ -1,0 +1,184 @@
+"""Unit tests for the embedding's physical array (slot kinds, chain moves)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import InvariantViolation
+from repro.core.operations import Move
+from repro.core.physical import BUFFER, F_SLOT, R_EMPTY, PhysicalArray
+
+
+def build_array(spec: str) -> PhysicalArray:
+    """Build an array from a compact spec string.
+
+    Characters: ``f`` free F-slot, ``F<digit>`` not supported — occupied slots
+    are set afterwards; ``b`` dummy buffer, ``.`` R-empty.
+    """
+    array = PhysicalArray(len(spec))
+    kinds = {"f": F_SLOT, "b": BUFFER, ".": R_EMPTY}
+    array.initialize_kinds((i, kinds[c]) for i, c in enumerate(spec))
+    return array
+
+
+class TestBasics:
+    def test_counts(self):
+        array = build_array("fbf.b.")
+        assert array.f_slot_count == 2
+        assert array.buffer_count == 2
+        assert array.dummy_buffer_count == 2
+        assert array.buffered_element_count == 0
+
+    def test_put_take_move(self):
+        array = build_array("ff.f")
+        array.put_element(0, 10)
+        array.put_element(1, 20)
+        assert array.elements() == [10, 20]
+        array.move_element(1, 3)
+        assert array.elements() == [10, 20]
+        assert array.position_of(20) == 3
+        array.take_element(0)
+        assert array.elements() == [20]
+
+    def test_put_on_occupied_rejected(self):
+        array = build_array("ff")
+        array.put_element(0, 1)
+        with pytest.raises(InvariantViolation):
+            array.put_element(0, 2)
+
+    def test_f_coordinates(self):
+        array = build_array("bf.fbf")
+        assert array.f_position(0) == 1
+        assert array.f_position(1) == 3
+        assert array.f_position(2) == 5
+        assert array.f_index_of(3) == 1
+        with pytest.raises(ValueError):
+            array.f_index_of(0)
+
+    def test_token_rank_skips_empty_slots(self):
+        array = build_array("f.bf")
+        assert array.token_rank(0) == 1
+        assert array.token_rank(2) == 2
+        assert array.token_rank(3) == 3
+        with pytest.raises(ValueError):
+            array.token_rank(1)
+
+    def test_element_at_rank(self):
+        array = build_array("ffff")
+        array.put_element(1, 5)
+        array.put_element(3, 9)
+        assert array.element_at_rank(1) == 5
+        assert array.element_at_rank(2) == 9
+
+
+class TestNearestDummy:
+    def test_prefers_closer_side_in_token_order(self):
+        array = build_array("bffb")
+        array.put_element(1, 1)
+        array.put_element(2, 2)
+        assert array.nearest_dummy_buffer(1) == 0
+        assert array.nearest_dummy_buffer(2) == 3
+
+    def test_returns_none_without_dummies(self):
+        array = build_array("ff")
+        assert array.nearest_dummy_buffer(0) is None
+
+
+class TestChainMove:
+    def test_simple_move_without_deadweight(self):
+        array = build_array("fbf")
+        array.put_element(0, 10)
+        cost = array.chain_move(0, 1)
+        assert cost == 1
+        assert array.total_deadweight_moves == 0
+        # The element now reads at F-index 1 and order is preserved.
+        assert array.f_contents() == [None, 10]
+        array.check_consistency()
+
+    def test_rightward_move_shifts_buffered_elements(self):
+        # Figure 2: an element hops over occupied buffer slots; the buffered
+        # elements shift and are counted as deadweight.
+        array = build_array("fbbf")
+        array.put_element(0, 10)
+        array.put_element(1, 20)
+        array.put_element(2, 30)
+        cost = array.chain_move(0, 1)
+        assert cost == 3  # the element plus two deadweight moves
+        assert array.total_deadweight_moves == 2
+        assert array.elements() == [10, 20, 30]
+        assert array.f_contents() == [None, 10]
+        array.check_consistency()
+
+    def test_leftward_move_shifts_buffered_elements(self):
+        array = build_array("fbbf")
+        array.put_element(3, 40)
+        array.put_element(1, 20)
+        array.put_element(2, 30)
+        cost = array.chain_move(3, 0)
+        assert cost == 3
+        assert array.elements() == [20, 30, 40]
+        assert array.f_contents() == [40, None]
+        array.check_consistency()
+
+    def test_incorporation_from_buffer_slot(self):
+        array = build_array("fbf")
+        array.put_element(0, 10)
+        array.put_element(1, 15)  # buffered element
+        cost = array.chain_move(1, 1)  # incorporate at F-index 1
+        assert cost >= 1
+        assert array.f_contents() == [10, 15]
+        assert array.buffered_element_count == 0
+        assert array.dummy_buffer_count == 1
+        array.check_consistency()
+
+    def test_kind_counts_preserved(self):
+        array = build_array("fbbfbf")
+        array.put_element(0, 1)
+        array.put_element(1, 2)
+        array.put_element(2, 3)
+        before = (array.f_slot_count, array.buffer_count)
+        array.chain_move(0, 2)
+        assert (array.f_slot_count, array.buffer_count) == before
+        array.check_consistency()
+
+    def test_move_onto_occupied_f_slot_rejected(self):
+        array = build_array("ff")
+        array.put_element(0, 1)
+        array.put_element(1, 2)
+        with pytest.raises(InvariantViolation):
+            array.chain_move(0, 1)
+
+
+class TestShellReplay:
+    def test_placement_and_removal(self):
+        array = build_array("f..")
+        cost = array.apply_shell_moves([Move("token-1", None, 1)])
+        assert cost == 0
+        assert array.kind(1) == BUFFER
+        cost = array.apply_shell_moves([Move("token-1", 1, None)])
+        assert cost == 0
+        assert array.kind(1) == R_EMPTY
+
+    def test_token_move_carries_content(self):
+        array = build_array("f.b")
+        array.put_element(0, 10)
+        cost = array.apply_shell_moves([Move("token-f", 0, 1)])
+        assert cost == 1
+        assert array.kind(0) == R_EMPTY
+        assert array.kind(1) == F_SLOT
+        assert array.position_of(10) == 1
+
+    def test_move_onto_nonempty_rejected(self):
+        array = build_array("fb")
+        with pytest.raises(InvariantViolation):
+            array.apply_shell_moves([Move("t", 0, 1)])
+
+    def test_remove_and_replace_token_restores_content(self):
+        array = build_array("f..")
+        array.put_element(0, 7)
+        cost = array.apply_shell_moves(
+            [Move("token", 0, None), Move("token", None, 2)]
+        )
+        assert cost == 1
+        assert array.kind(2) == F_SLOT
+        assert array.position_of(7) == 2

@@ -1,0 +1,63 @@
+"""Tests for the rank predictors used by the learning-augmented labeler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import ExactPredictor, NoisyPredictor, StalePredictor
+
+
+class TestExactPredictor:
+    def test_predicts_true_rank(self):
+        predictor = ExactPredictor([30, 10, 20])
+        assert predictor.predict(10) == 1
+        assert predictor.predict(20) == 2
+        assert predictor.predict(30) == 3
+        assert predictor.max_error() == 0
+
+    def test_unknown_key_raises(self):
+        predictor = ExactPredictor([1, 2, 3])
+        with pytest.raises(KeyError):
+            predictor.predict(99)
+
+
+class TestNoisyPredictor:
+    def test_error_bounded_by_eta(self):
+        keys = list(range(1, 201))
+        for eta in (0, 1, 5, 25):
+            predictor = NoisyPredictor(keys, eta=eta, salt=3)
+            assert predictor.max_error() <= eta
+
+    def test_predictions_are_deterministic(self):
+        keys = list(range(50))
+        first = NoisyPredictor(keys, eta=7, salt=1)
+        second = NoisyPredictor(keys, eta=7, salt=1)
+        assert [first.predict(k) for k in keys] == [second.predict(k) for k in keys]
+
+    def test_predictions_stay_in_range(self):
+        keys = list(range(30))
+        predictor = NoisyPredictor(keys, eta=100, salt=2)
+        for key in keys:
+            assert 1 <= predictor.predict(key) <= len(keys)
+
+    def test_negative_eta_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyPredictor([1, 2], eta=-1)
+
+
+class TestStalePredictor:
+    def test_known_keys_exact(self):
+        predictor = StalePredictor([10, 20, 30])
+        assert predictor.predict(10) == 1
+        assert predictor.predict(30) == 3
+
+    def test_unknown_keys_interpolated(self):
+        predictor = StalePredictor([10, 20, 30])
+        assert predictor.predict(15) == 2
+        assert predictor.predict(5) == 1
+
+    def test_error_grows_with_staleness(self):
+        snapshot = list(range(0, 100))
+        fresh_keys = list(range(0, 200))
+        predictor = StalePredictor(snapshot)
+        assert predictor.max_error_against(fresh_keys) >= 50

@@ -1,0 +1,55 @@
+"""Tests for the randomized (history-oblivious) PMA."""
+
+from __future__ import annotations
+
+from repro.algorithms import ClassicalPMA, RandomizedPMA
+from repro.analysis import run_workload
+from repro.workloads import RandomWorkload, SequentialWorkload
+
+from tests.conftest import ReferenceDriver
+
+
+class TestDeterminismUnderSeed:
+    def test_same_seed_same_behaviour(self):
+        first = ReferenceDriver(RandomizedPMA(128, seed=42), seed=1)
+        second = ReferenceDriver(RandomizedPMA(128, seed=42), seed=1)
+        for _ in range(300):
+            first.random_operation()
+            second.random_operation()
+        assert list(first.labeler.slots()) == list(second.labeler.slots())
+
+    def test_different_seed_different_layout(self):
+        first = ReferenceDriver(RandomizedPMA(128, seed=1), seed=1)
+        second = ReferenceDriver(RandomizedPMA(128, seed=2), seed=1)
+        for _ in range(300):
+            first.random_operation()
+            second.random_operation()
+        # Same contents, (almost surely) different physical layout.
+        assert first.labeler.elements() == second.labeler.elements()
+        assert list(first.labeler.slots()) != list(second.labeler.slots())
+
+
+class TestWindowRandomization:
+    def test_window_bounds_always_contain_slot(self):
+        labeler = RandomizedPMA(512, seed=9)
+        for level in range(labeler.height + 1):
+            for slot in (0, 17, 200, labeler.num_slots - 1):
+                lo, hi = labeler._window_bounds(slot, level)
+                assert 0 <= lo <= slot < hi <= labeler.num_slots
+
+    def test_cost_competitive_with_classical(self):
+        n = 1024
+        randomized = run_workload(RandomizedPMA(n, seed=5), RandomWorkload(n, n, seed=5))
+        classical = run_workload(ClassicalPMA(n), RandomWorkload(n, n, seed=5))
+        assert randomized.amortized_cost < 3 * classical.amortized_cost + 5
+
+    def test_sequential_inserts_supported(self):
+        n = 512
+        run = run_workload(RandomizedPMA(n, seed=4), SequentialWorkload(n), validate_every=128)
+        assert run.tracker.operations == n
+
+    def test_consistency_under_churn(self):
+        driver = ReferenceDriver(RandomizedPMA(96, seed=3), seed=6)
+        for _ in range(400):
+            driver.random_operation(delete_probability=0.4)
+        driver.check()

@@ -1,0 +1,64 @@
+"""Tests for the invariant-checking helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import NaiveLabeler
+from repro.core.exceptions import InvariantViolation
+from repro.core.validation import (
+    check_capacity_slack,
+    check_contents,
+    check_labeler,
+    check_moves_consistent,
+    check_sorted,
+)
+
+
+class TestCheckSorted:
+    def test_accepts_sorted_with_gaps(self):
+        check_sorted([1, None, 3, None, None, 7])
+
+    def test_rejects_out_of_order(self):
+        with pytest.raises(InvariantViolation):
+            check_sorted([1, None, 3, 2])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(InvariantViolation):
+            check_sorted([5, 5])
+
+    def test_key_function(self):
+        check_sorted([("a", 1), None, ("b", 2)], key=lambda pair: pair[1])
+
+
+class TestCheckLabeler:
+    def test_passes_on_consistent_structure(self):
+        labeler = NaiveLabeler(4)
+        labeler.insert(1, 1)
+        labeler.insert(2, 2)
+        check_labeler(labeler, expected=[1, 2])
+
+    def test_contents_mismatch_detected(self):
+        labeler = NaiveLabeler(4)
+        labeler.insert(1, 1)
+        with pytest.raises(InvariantViolation):
+            check_contents(labeler, [2])
+
+    def test_capacity_slack(self):
+        labeler = NaiveLabeler(100)
+        check_capacity_slack(labeler, minimum_slack=0.01)
+        with pytest.raises(InvariantViolation):
+            check_capacity_slack(labeler, minimum_slack=3.0)
+
+
+class TestMovesConsistent:
+    def test_accepts_reported_moves(self):
+        before = [1, 2, None]
+        after = [1, None, 2]
+        check_moves_consistent(before, after, moved=[2])
+
+    def test_detects_unreported_moves(self):
+        before = [1, 2, None]
+        after = [1, None, 2]
+        with pytest.raises(InvariantViolation):
+            check_moves_consistent(before, after, moved=[])

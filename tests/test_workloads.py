@@ -1,0 +1,129 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.workloads import (
+    BulkLoadWorkload,
+    HammerWorkload,
+    PredictedWorkload,
+    RandomWorkload,
+    SequentialWorkload,
+    SlidingWindowWorkload,
+    ZipfianWorkload,
+    synthesize_key,
+)
+
+
+def replay_sizes(workload) -> int:
+    """Replay a workload against a counter and validate rank bounds."""
+    size = 0
+    count = 0
+    for operation in workload:
+        if operation.is_insert:
+            assert 1 <= operation.rank <= size + 1
+            size += 1
+        else:
+            assert 1 <= operation.rank <= size
+            size -= 1
+        count += 1
+    return count
+
+
+ALL_WORKLOADS = [
+    RandomWorkload(300, 200, delete_fraction=0.3, seed=1),
+    SequentialWorkload(200),
+    SequentialWorkload(200, ascending=False),
+    HammerWorkload(200, seed=2),
+    BulkLoadWorkload(200, batch_size=16, seed=3),
+    ZipfianWorkload(200, skew=1.3, seed=4),
+    SlidingWindowWorkload(300, window=50),
+    PredictedWorkload(200, eta=8, seed=5),
+]
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS, ids=lambda w: w.name)
+class TestAllWorkloads:
+    def test_rank_bounds_respected(self, workload):
+        assert replay_sizes(workload) == len(workload)
+
+    def test_replayable_and_deterministic(self, workload):
+        first = [(op.kind, op.rank) for op in workload]
+        second = [(op.kind, op.rank) for op in workload]
+        assert first == second
+
+    def test_describe(self, workload):
+        info = workload.describe()
+        assert info["operations"] == len(workload)
+        assert info["capacity"] >= 1
+
+
+class TestSpecificShapes:
+    def test_sequential_is_append_only(self):
+        ranks = [op.rank for op in SequentialWorkload(10)]
+        assert ranks == list(range(1, 11))
+
+    def test_descending_is_prepend_only(self):
+        ranks = [op.rank for op in SequentialWorkload(10, ascending=False)]
+        assert ranks == [1] * 10
+
+    def test_hammer_fixes_one_rank_after_warmup(self):
+        workload = HammerWorkload(100, warmup_fraction=0.2, seed=1)
+        ranks = [op.rank for op in workload]
+        hammer_ranks = set(ranks[20:])
+        assert len(hammer_ranks) == 1
+
+    def test_sliding_window_bounds_size(self):
+        sizes = []
+        size = 0
+        for operation in SlidingWindowWorkload(200, window=20):
+            size += 1 if operation.is_insert else -1
+            sizes.append(size)
+        assert max(sizes) <= 20
+
+    def test_random_workload_respects_capacity(self):
+        size = 0
+        for operation in RandomWorkload(500, 64, seed=9):
+            size += 1 if operation.is_insert else -1
+            assert size <= 64
+
+    def test_predicted_workload_carries_keys_and_predictor(self):
+        workload = PredictedWorkload(64, eta=4, seed=1)
+        keys = [op.key for op in workload]
+        assert sorted(keys) == workload.keys
+        assert workload.max_prediction_error() <= 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWorkload(10, 10, delete_fraction=1.5)
+        with pytest.raises(ValueError):
+            HammerWorkload(10, warmup_fraction=1.5)
+        with pytest.raises(ValueError):
+            SlidingWindowWorkload(10, window=0)
+        with pytest.raises(ValueError):
+            BulkLoadWorkload(10, batch_size=0)
+
+
+class TestSynthesizeKey:
+    def test_midpoint_between_neighbours(self):
+        reference = [Fraction(0), Fraction(10)]
+        key = synthesize_key(reference, 2)
+        assert Fraction(0) < key < Fraction(10)
+
+    def test_ends(self):
+        reference = [Fraction(5)]
+        assert synthesize_key(reference, 1) < Fraction(5)
+        assert synthesize_key(reference, 2) > Fraction(5)
+        assert synthesize_key([], 1) == Fraction(0)
+
+    def test_repeated_splitting_never_collides(self):
+        reference = [Fraction(0), Fraction(1)]
+        seen = set(reference)
+        for _ in range(200):
+            key = synthesize_key(reference, 2)
+            assert key not in seen
+            seen.add(key)
+            reference.insert(1, key)
