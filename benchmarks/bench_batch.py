@@ -1,0 +1,93 @@
+"""E-BATCH — batched vs. singleton execution across algorithms and batch sizes.
+
+The paper charges one unit per element moved; batched mutation is the
+standard systems lever for bulk ingestion (partition loads, LSM flushes,
+index builds).  This experiment drives the bulk-load workload through every
+dense-array algorithm twice — once one operation at a time, once through
+``insert_batch`` — and compares total element moves.  The batched runs
+service each sorted run with a single merged rebalance, so their totals
+should drop well below the singleton totals once batches are large enough
+to amortize the merge.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import BASE_FACTORIES, DEFAULT_N, emit
+from repro.analysis import run_workload
+from repro.workloads.bulk import BulkLoadWorkload
+
+BATCH_SIZES = (16, 64, 256)
+
+
+def test_batched_beats_singleton_on_bulk_loads(run_once):
+    n = DEFAULT_N
+
+    def experiment():
+        rows = []
+        for name, factory in BASE_FACTORIES.items():
+            singleton = run_workload(
+                factory(n), BulkLoadWorkload(n, batch_size=64, seed=23)
+            )
+            row = {
+                "structure": name,
+                "singleton_total": singleton.total_cost,
+            }
+            for batch_size in BATCH_SIZES:
+                batched = run_workload(
+                    factory(n),
+                    BulkLoadWorkload(n, batch_size=64, seed=23),
+                    batch_size=batch_size,
+                )
+                assert batched.final_keys == singleton.final_keys
+                row[f"batched_{batch_size}"] = batched.total_cost
+            rows.append(row)
+        return rows
+
+    rows = run_once(experiment)
+    emit(
+        "E-BATCH: bulk-load (sorted runs of 64), n = %d, total element moves" % n,
+        rows,
+        note="Batched execution lays each sorted run out with one merged "
+        "rebalance; singleton execution pays one cascade per element.",
+    )
+    for row in rows:
+        for batch_size in BATCH_SIZES:
+            if batch_size >= 64:
+                assert row[f"batched_{batch_size}"] < row["singleton_total"], (
+                    f"{row['structure']}: batch={batch_size} should beat "
+                    "singleton execution on bulk loads"
+                )
+
+
+def test_batched_amortized_per_element_scales_down(run_once):
+    """Larger batches amortize better: per-element cost is non-increasing-ish."""
+    n = DEFAULT_N
+
+    def experiment():
+        rows = []
+        for name in ("classical-pma", "naive"):
+            factory = BASE_FACTORIES[name]
+            row = {"structure": name}
+            for batch_size in BATCH_SIZES:
+                result = run_workload(
+                    factory(n),
+                    BulkLoadWorkload(n, batch_size=256, seed=29),
+                    batch_size=batch_size,
+                )
+                stats = result.tracker.batch_statistics()
+                row[f"per_element_{batch_size}"] = round(
+                    stats["amortized_per_element"], 2
+                )
+            rows.append(row)
+        return rows
+
+    rows = run_once(experiment)
+    emit(
+        "E-BATCH-SCALE: amortized moves per element vs. batch size, n = %d" % n,
+        rows,
+        note="Bigger batches share one rebalance across more elements.",
+    )
+    for row in rows:
+        assert row[f"per_element_{max(BATCH_SIZES)}"] <= row[
+            f"per_element_{min(BATCH_SIZES)}"
+        ] * 1.5

@@ -6,6 +6,14 @@ recorder.  Concrete algorithms (the naive labeler, the PMA family) only
 implement placement and rebalancing policy on top of the primitive
 :meth:`_move`, :meth:`_place` and :meth:`_remove` operations, which keep the
 occupancy index consistent and the move log accurate.
+
+Batch execution: the class overrides the :meth:`_insert_batch` hook of the
+interface with a *merged rebalance* — the batch is sorted, merged with the
+contents of the smallest slot window that can absorb it, and the result is
+laid out with a single two-pass monotone rewrite (:meth:`_layout_window`).
+One rebalance serves the whole batch instead of one cascade per element,
+which is what makes bulk loads cheap; subclasses customize the window choice
+(:meth:`_batch_window`) and the slot targets (:meth:`_batch_targets`).
 """
 
 from __future__ import annotations
@@ -19,6 +27,17 @@ from repro.core.operations import Move, Operation, OperationResult
 
 class DenseArrayLabeler(ListLabeler):
     """Base class for labelers storing elements directly in a slot list."""
+
+    #: Insert batches smaller than this fall back to the singleton loop —
+    #: a merged window rewrite only pays off once it amortizes over enough
+    #: elements.
+    batch_merge_threshold = 8
+
+    #: Maximum post-merge density of the chosen batch window; the window is
+    #: grown until the merged contents fit below this fill ratio (or the
+    #: whole array is reached), so the next few singleton insertions do not
+    #: immediately hit a packed neighbourhood.
+    batch_fill_limit = 0.85
 
     def __init__(self, capacity: int, num_slots: int | None = None) -> None:
         super().__init__(capacity, num_slots)
@@ -59,6 +78,10 @@ class DenseArrayLabeler(ListLabeler):
     def rank_at_slot(self, index: int) -> int:
         """1-based rank of the element stored at ``index``."""
         return self._occupancy.rank_of(index)
+
+    def rank_of(self, element: Hashable) -> int:
+        """1-based rank of ``element`` (``O(log m)`` via the occupancy index)."""
+        return self.rank_at_slot(self.slot_of(element))
 
     def free_slot_left(self, index: int) -> int | None:
         """Nearest free slot at or to the left of ``index`` (or ``None``)."""
@@ -166,28 +189,116 @@ class DenseArrayLabeler(ListLabeler):
         """Rewrite ``[lo, hi)`` so ``contents[i]`` ends up at ``targets[i]``.
 
         ``contents`` must be the occupied elements of the window in order and
-        ``targets`` an increasing list of slots inside the window.  The
-        rewrite is executed as two monotone passes (left-movers left-to-right
-        then right-movers right-to-left) so the array is valid after every
-        individual move.
+        ``targets`` an increasing list of slots inside the window.
+        """
+        self._layout_window(contents, targets, ())
+
+    # ------------------------------------------------------------------
+    # Batched insertion: one merged rebalance for the whole batch
+    # ------------------------------------------------------------------
+    def _insert_batch(
+        self, prepared: Sequence[tuple[int, Hashable]]
+    ) -> list[OperationResult]:
+        if len(prepared) < self.batch_merge_threshold:
+            return super()._insert_batch(prepared)
+        result = self._begin(Operation.insert(prepared[0][0]))
+        try:
+            self._merge_batch(prepared)
+        finally:
+            self._finish()
+        self._size += len(prepared)
+        return [result]
+
+    def _merge_batch(self, prepared: Sequence[tuple[int, Hashable]]) -> None:
+        """Merge a rank-sorted batch into one window with a single rewrite."""
+        rank_lo = prepared[0][0]
+        rank_hi = prepared[-1][0]
+        lo, hi = self._batch_window(rank_lo, rank_hi, len(prepared))
+        below = self.occupied_in(0, lo)
+        window = [item for item in self._slots[lo:hi] if item is not None]
+
+        # Interleave: a batch item of pre-batch rank r goes immediately
+        # before the stored element of rank r; window element j (0-based)
+        # holds pre-batch rank below + j + 1, and the window always covers
+        # ranks [rank_lo, rank_hi - 1], so every local index is in range.
+        contents: list[Hashable] = []
+        fresh: list[int] = []
+        consumed = 0
+        for rank, element in prepared:
+            local = rank - below - 1
+            while consumed < local:
+                contents.append(window[consumed])
+                consumed += 1
+            fresh.append(len(contents))
+            contents.append(element)
+        contents.extend(window[consumed:])
+
+        targets = self._batch_targets(lo, hi, len(contents))
+        self._layout_window(contents, targets, fresh)
+        self._after_batch_merge(lo, hi)
+
+    def _batch_window(self, rank_lo: int, rank_hi: int, extra: int) -> tuple[int, int]:
+        """Smallest slot window that can absorb ``extra`` new elements.
+
+        The window always contains the slots of the stored elements with
+        ranks in ``[rank_lo, rank_hi - 1]`` (the rank neighbours of every
+        batch item) and is grown symmetrically until the merged contents fit
+        under :attr:`batch_fill_limit`, falling back to the whole array.
+        """
+        m = self.num_slots
+        if self.size == 0:
+            return 0, m
+        lo = self.slot_of_rank(min(rank_lo, self.size))
+        hi = self.slot_of_rank(min(max(rank_hi - 1, 1), self.size)) + 1
+        while (lo, hi) != (0, m):
+            width = hi - lo
+            if self.occupied_in(lo, hi) + extra <= width * self.batch_fill_limit:
+                break
+            grow = max(1, width // 2)
+            lo = max(0, lo - grow)
+            hi = min(m, hi + grow)
+        return lo, hi
+
+    def _batch_targets(self, lo: int, hi: int, count: int) -> list[int]:
+        """Slot targets for a merged batch layout; subclasses override."""
+        return self.even_targets(lo, hi, count)
+
+    def _after_batch_merge(self, lo: int, hi: int) -> None:
+        """Hook called after a merged batch rewrite of ``[lo, hi)``."""
+
+    def _layout_window(
+        self,
+        contents: list[Hashable],
+        targets: list[int],
+        fresh: Sequence[int],
+    ) -> None:
+        """Rewrite so ``contents[i]`` ends up at ``targets[i]`` in one pass.
+
+        ``contents`` lists the final window contents in rank order and
+        ``targets`` the (increasing) destination slots.  The indices in
+        ``fresh`` mark brand-new elements; all other entries must currently
+        be stored, in the same relative order.  Existing elements move in
+        two monotone passes (left-movers left-to-right, right-movers
+        right-to-left) so the array stays sorted after every individual
+        move; the new elements are placed into their — by then free —
+        targets at the end.
         """
         if len(contents) != len(targets):
             raise ValueError("contents and targets must have equal length")
-        positions = []
-        cursor = lo
-        for element in contents:
-            while self._slots[cursor] != element:
-                cursor += 1
-            positions.append(cursor)
-            cursor += 1
-        # Left-moving elements, in left-to-right order.
-        for element, src, dst in zip(contents, positions, targets):
+        fresh_set = set(fresh)
+        plan = [
+            (self._position[item], target)
+            for index, (item, target) in enumerate(zip(contents, targets))
+            if index not in fresh_set
+        ]
+        for src, dst in plan:
             if dst < src:
                 self._move(src, dst)
-        # Right-moving elements, in right-to-left order.
-        for element, src, dst in reversed(list(zip(contents, positions, targets))):
+        for src, dst in reversed(plan):
             if dst > src:
                 self._move(src, dst)
+        for index in fresh:
+            self._place(targets[index], contents[index])
 
     def bulk_load(self, elements) -> int:
         """Load sorted ``elements`` into an empty array with even spacing.

@@ -190,6 +190,50 @@ class ClassicalPMA(DenseArrayLabeler):
         raise InvariantViolation("no window could absorb the insertion")
 
     # ------------------------------------------------------------------
+    # Batched insertion: merge the batch into one PMA window
+    # ------------------------------------------------------------------
+    def _batch_window(self, rank_lo: int, rank_hi: int, extra: int) -> tuple[int, int]:
+        """Smallest union of within-threshold PMA windows covering the batch.
+
+        Instead of the generic doubling of the base class, the window is the
+        span of the level-``l`` windows containing the batch's extreme rank
+        neighbours, for the smallest level whose density threshold can
+        absorb the merged contents — the natural batched generalization of
+        :meth:`_rebalance_up`, so the post-merge state is exactly the state
+        a (single) classical rebalance of that window would leave.
+        """
+        if self.size == 0:
+            self._batch_level = self._height
+            return 0, self.num_slots
+        anchor_lo = self.slot_of_rank(min(rank_lo, self.size))
+        anchor_hi = self.slot_of_rank(min(max(rank_hi - 1, 1), self.size))
+        for level in range(self._height + 1):
+            lo = self._window_bounds(anchor_lo, level)[0]
+            hi = self._window_bounds(anchor_hi, level)[1]
+            count = self.occupied_in(lo, hi) + extra
+            at_root = (lo, hi) == (0, self.num_slots)
+            if count <= (hi - lo) * self.upper_threshold(level) or at_root:
+                self._batch_level = level
+                return lo, hi
+        # Unreachable: the level-``height`` window spans the whole array,
+        # so the loop always returns at or before its last iteration.
+        raise InvariantViolation("no window could absorb the batch")
+
+    def _batch_targets(self, lo: int, hi: int, count: int) -> list[int]:
+        """Lay the merged window out with the algorithm's rebalance policy."""
+        return self._rebalance_targets(lo, hi, count, None)
+
+    def _after_batch_merge(self, lo: int, hi: int) -> None:
+        """Account the merged layout as one rebalance of the chosen level."""
+        level = getattr(self, "_batch_level", 0)
+        self.rebalance_count += 1
+        if self._current_moves is not None:
+            self.rebalance_moves += sum(
+                move.cost for move in self._current_moves
+            )
+        self.rebalances_by_level[level] = self.rebalances_by_level.get(level, 0) + 1
+
+    # ------------------------------------------------------------------
     # Deletion
     # ------------------------------------------------------------------
     def _delete(self, rank: int) -> OperationResult:
@@ -278,28 +322,10 @@ class ClassicalPMA(DenseArrayLabeler):
     ) -> None:
         """Physically rewrite the window.
 
-        Existing elements are moved with two monotone passes (left-movers in
-        rank order, right-movers in reverse rank order) so the array stays
-        sorted after every single move; a newly inserted element (the one at
-        index ``insert_pos`` of ``contents``) is placed into its — by then
-        free — target slot at the end.
+        A newly inserted element (the one at index ``insert_pos`` of
+        ``contents``) is placed into its — by then free — target slot after
+        the existing elements have been moved by the shared two-pass
+        monotone rewrite.
         """
-        current: dict[Hashable, int] = {
-            item: slot
-            for slot, item in enumerate(self._slots[lo:hi], start=lo)
-            if item is not None
-        }
-
-        plan = [
-            (src := current[item], target)
-            for index, (item, target) in enumerate(zip(contents, targets))
-            if index != insert_pos
-        ]
-        for src, dst in plan:
-            if dst < src:
-                self._move(src, dst)
-        for src, dst in reversed(plan):
-            if dst > src:
-                self._move(src, dst)
-        if insert_pos is not None:
-            self._place(targets[insert_pos], contents[insert_pos])
+        fresh = () if insert_pos is None else (insert_pos,)
+        self._layout_window(contents, targets, fresh)

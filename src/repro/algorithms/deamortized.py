@@ -104,6 +104,13 @@ class DeamortizedPMA(ClassicalPMA):
             self._finish()
         return result
 
+    def _after_batch_merge(self, lo: int, hi: int) -> None:
+        super()._after_batch_merge(lo, hi)
+        # A merged batch rewrite supersedes any frozen incremental plan that
+        # overlaps the window; stale tasks would only burn budget on moves
+        # the order-safety checks skip anyway.
+        self._cancel_tasks_overlapping(lo, hi)
+
     # ------------------------------------------------------------------
     # Placement
     # ------------------------------------------------------------------

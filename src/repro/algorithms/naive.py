@@ -13,7 +13,7 @@ less pessimal baseline whose worst case is still ``Θ(n)``.
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Sequence
 
 from repro.algorithms.base import DenseArrayLabeler
 from repro.core.operations import Operation, OperationResult
@@ -50,6 +50,41 @@ class NaiveLabeler(DenseArrayLabeler):
             self._move(position, position - 1)
         self._finish()
         return result
+
+    # ------------------------------------------------------------------
+    # Batched operations: one suffix rewrite for the whole batch
+    # ------------------------------------------------------------------
+    #: The singleton loop shifts the suffix once *per insertion*, so the
+    #: merged rewrite (each displaced element moves exactly once) wins for
+    #: any batch of two or more.
+    batch_merge_threshold = 2
+
+    def _batch_window(self, rank_lo: int, rank_hi: int, extra: int) -> tuple[int, int]:
+        # Left-packed layout: everything from the first affected rank to the
+        # end of the array is rewritten; elements below it stay put.
+        return rank_lo - 1, self.num_slots
+
+    def _batch_targets(self, lo: int, hi: int, count: int) -> list[int]:
+        return list(range(lo, lo + count))
+
+    def _delete_batch(self, prepared: Sequence[int]) -> list[OperationResult]:
+        """Remove all batch ranks, then compact the suffix in one pass."""
+        if len(prepared) < 2:
+            return super()._delete_batch(prepared)
+        result = self._begin(Operation.delete(prepared[-1]))
+        try:
+            size_before = self.size
+            for rank in prepared:  # descending: slots are pre-batch ranks - 1
+                self._remove(rank - 1)
+            write = prepared[-1] - 1  # the leftmost freed slot
+            for read in range(write + 1, size_before):
+                if self._slots[read] is not None:
+                    self._move(read, write)
+                    write += 1
+        finally:
+            self._finish()
+        self._size -= len(prepared)
+        return [result]
 
 
 class SparseNaiveLabeler(DenseArrayLabeler):

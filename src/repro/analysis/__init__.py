@@ -11,9 +11,11 @@ experiments print.
 
 from repro.analysis.runner import RunResult, run_workload
 from repro.analysis.curves import estimate_log_exponent, growth_ratios
+from repro.analysis.reference import ChunkedList
 from repro.analysis.report import format_table
 
 __all__ = [
+    "ChunkedList",
     "RunResult",
     "estimate_log_exponent",
     "format_table",

@@ -1,0 +1,120 @@
+"""A blocked sequence: the runner's reference model at ``O(√n)`` per update.
+
+The workload runner maintains a ground-truth copy of the stored key sequence
+to synthesize keys and validate the structure under test.  A flat Python
+``list`` pays ``O(n)`` per ``insert``/``pop`` — at a million operations that
+reference model, not the structure being measured, dominates wall-clock.
+:class:`ChunkedList` stores the sequence as a list of contiguous blocks of
+``Θ(√n)`` elements each, so locating an index costs ``O(√n)`` (a linear walk
+over ``O(√n)`` blocks) and the shift inside the hit block costs ``O(√n)``
+too.  Only the operations the runner needs are provided; ``to_list()``
+materializes the sequence when a plain list is required.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+
+class ChunkedList:
+    """A mutable sequence of blocks with ``O(√n)`` insert/pop by index."""
+
+    def __init__(
+        self, iterable: Iterable = (), *, block_size: int | None = None
+    ) -> None:
+        """``block_size`` pins the block capacity; by default it tracks √n.
+
+        Passing an expected final size as ``ChunkedList(block_size=
+        int(math.isqrt(expected)))`` avoids re-tuning churn on large runs.
+        """
+        self._fixed_block = block_size is not None
+        self._cap = max(8, block_size) if block_size is not None else 8
+        self._blocks: list[list] = []
+        self._len = 0
+        for value in iterable:
+            self.insert(self._len, value)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._len
+
+    def __iter__(self) -> Iterator:
+        for block in self._blocks:
+            yield from block
+
+    def __getitem__(self, index: int):
+        if index < 0:
+            index += self._len
+        if not 0 <= index < self._len:
+            raise IndexError(f"index {index} out of range (length {self._len})")
+        block_index, offset = self._locate(index)
+        return self._blocks[block_index][offset]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (ChunkedList, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"ChunkedList(length={self._len}, blocks={len(self._blocks)})"
+
+    def to_list(self) -> list:
+        """The whole sequence as a plain list."""
+        return [value for block in self._blocks for value in block]
+
+    # ------------------------------------------------------------------
+    def _locate(self, index: int) -> tuple[int, int]:
+        """Block index and offset of sequence position ``index``."""
+        remaining = index
+        for block_index, block in enumerate(self._blocks):
+            if remaining < len(block):
+                return block_index, remaining
+            remaining -= len(block)
+        # Only reachable for index == len when appending.
+        return len(self._blocks) - 1, remaining
+
+    def _retune(self) -> None:
+        if not self._fixed_block:
+            self._cap = max(8, math.isqrt(max(1, self._len)))
+
+    def insert(self, index: int, value) -> None:
+        """Insert ``value`` so it ends up at sequence position ``index``."""
+        if not 0 <= index <= self._len:
+            raise IndexError(f"insert index {index} out of range (length {self._len})")
+        if not self._blocks:
+            self._blocks.append([value])
+            self._len = 1
+            return
+        if index == self._len:
+            block_index, block = len(self._blocks) - 1, self._blocks[-1]
+            block.append(value)
+        else:
+            block_index, offset = self._locate(index)
+            block = self._blocks[block_index]
+            block.insert(offset, value)
+        self._len += 1
+        self._retune()
+        if len(block) > 2 * self._cap:
+            half = len(block) // 2
+            self._blocks[block_index : block_index + 1] = [
+                block[:half],
+                block[half:],
+            ]
+
+    def pop(self, index: int):
+        """Remove and return the value at sequence position ``index``."""
+        if not 0 <= index < self._len:
+            raise IndexError(f"pop index {index} out of range (length {self._len})")
+        block_index, offset = self._locate(index)
+        block = self._blocks[block_index]
+        value = block.pop(offset)
+        self._len -= 1
+        if not block:
+            del self._blocks[block_index]
+        self._retune()
+        return value
+
+    def extend(self, values: Sequence) -> None:
+        for value in values:
+            self.insert(self._len, value)

@@ -94,9 +94,9 @@ class OrderMaintenance:
     def _position(self, item: Hashable) -> int:
         if item not in self._present:
             raise KeyError(f"item {item!r} is not in the order")
-        # The mirror list gives the logical position; the labeler is the
-        # source of truth for labels and is kept in lockstep.
-        return self._order.index(item)
+        # The labeler's occupancy index answers rank queries in O(log m);
+        # the mirror list is kept only for validation in :meth:`check`.
+        return self._labeler.rank_of(item) - 1
 
     # ------------------------------------------------------------------
     def check(self) -> None:

@@ -9,6 +9,7 @@ together with its repeated composition ``X ⊳ (Y ⊳ Z)``
 """
 
 from repro.core.exceptions import (
+    BatchError,
     CapacityError,
     InvariantViolation,
     LabelerError,
@@ -17,6 +18,7 @@ from repro.core.exceptions import (
 from repro.core.operations import (
     DELETE,
     INSERT,
+    BatchResult,
     Move,
     Operation,
     OperationResult,
@@ -32,6 +34,8 @@ from repro.core.layered import (
 from repro.core.interleaved import InterleavedComposition
 
 __all__ = [
+    "BatchError",
+    "BatchResult",
     "CapacityError",
     "CostTracker",
     "DELETE",

@@ -37,10 +37,22 @@ class WindowStatistics:
 
 
 class CostTracker:
-    """Accumulates per-operation costs and derives summary statistics."""
+    """Accumulates per-operation costs and derives summary statistics.
+
+    The tracker records *events*: a singleton operation is an event of
+    weight 1; a batch recorded via :meth:`record_batch` is a single event
+    whose weight is the number of logical operations it contained.  The
+    element-level statistics (:attr:`operations`, :attr:`amortized`) weight
+    batches by their size, while the event-level statistics
+    (:attr:`worst_case`, percentiles, windows) treat each batch as one
+    event — for singleton-only runs the two views coincide, so existing
+    callers are unaffected.
+    """
 
     def __init__(self) -> None:
         self._costs: list[int] = []
+        self._weights: list[int] = []
+        self._operations = 0
         self._total = 0
         self._max = 0
 
@@ -49,9 +61,27 @@ class CostTracker:
     # ------------------------------------------------------------------
     def record(self, cost: int) -> None:
         """Record the cost of one operation."""
+        self._record_event(cost, 1)
+
+    def record_batch(self, total_cost: int, operations: int) -> None:
+        """Record a batch of ``operations`` logical ops with one total cost.
+
+        An empty batch (``operations == 0``) is a no-op; the batch appears
+        as a single event in the event-level statistics and as
+        ``operations`` operations in the element-level ones.
+        """
+        if operations < 0:
+            raise ValueError("batch size cannot be negative")
+        if operations == 0:
+            return
+        self._record_event(total_cost, operations)
+
+    def _record_event(self, cost: int, weight: int) -> None:
         if cost < 0:
             raise ValueError("operation cost cannot be negative")
         self._costs.append(cost)
+        self._weights.append(weight)
+        self._operations += weight
         self._total += cost
         if cost > self._max:
             self._max = cost
@@ -65,6 +95,12 @@ class CostTracker:
     # ------------------------------------------------------------------
     @property
     def operations(self) -> int:
+        """Number of logical operations recorded (batches count their size)."""
+        return self._operations
+
+    @property
+    def events(self) -> int:
+        """Number of recorded events (a whole batch is one event)."""
         return len(self._costs)
 
     @property
@@ -73,15 +109,42 @@ class CostTracker:
 
     @property
     def worst_case(self) -> int:
-        """Maximum cost of a single operation."""
+        """Maximum cost of a single event (operation, or whole batch)."""
         return self._max
 
     @property
     def amortized(self) -> float:
-        """Average cost per operation over the whole run."""
-        if not self._costs:
+        """Average cost per logical operation over the whole run."""
+        if not self._operations:
             return 0.0
-        return self._total / len(self._costs)
+        return self._total / self._operations
+
+    # ------------------------------------------------------------------
+    # Batch statistics
+    # ------------------------------------------------------------------
+    @property
+    def batches(self) -> int:
+        """Number of recorded multi-operation batch events."""
+        return sum(1 for weight in self._weights if weight > 1)
+
+    def batch_statistics(self) -> dict[str, float]:
+        """Per-batch cost statistics (empty dict when no batch was recorded)."""
+        pairs = [
+            (cost, weight)
+            for cost, weight in zip(self._costs, self._weights)
+            if weight > 1
+        ]
+        if not pairs:
+            return {}
+        total = sum(cost for cost, _ in pairs)
+        elements = sum(weight for _, weight in pairs)
+        return {
+            "batches": float(len(pairs)),
+            "mean_batch_size": elements / len(pairs),
+            "amortized_per_batch": total / len(pairs),
+            "amortized_per_element": total / elements,
+            "worst_batch": float(max(cost for cost, _ in pairs)),
+        }
 
     @property
     def costs(self) -> Sequence[int]:
@@ -171,15 +234,16 @@ class CostTracker:
     # Merging and summarizing
     # ------------------------------------------------------------------
     def merge(self, other: "CostTracker") -> "CostTracker":
-        """Concatenate two runs into a new tracker."""
+        """Concatenate two runs into a new tracker (batch weights survive)."""
         merged = CostTracker()
-        merged.record_many(self._costs)
-        merged.record_many(other._costs)
+        for tracker in (self, other):
+            for cost, weight in zip(tracker._costs, tracker._weights):
+                merged._record_event(cost, weight)
         return merged
 
     def summary(self) -> dict[str, float]:
         """Dictionary summary used by the benchmark report tables."""
-        return {
+        data = {
             "operations": float(self.operations),
             "total_cost": float(self.total_cost),
             "amortized": self.amortized,
@@ -187,6 +251,8 @@ class CostTracker:
             "p50": float(self.percentile(0.50)),
             "p99": float(self.percentile(0.99)),
         }
+        data.update(self.batch_statistics())
+        return data
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -146,6 +146,12 @@ class Embedding(ListLabeler):
     def slot_of(self, element: Hashable) -> int:
         return self._physical.position_of(element)
 
+    def rank_of(self, element: Hashable) -> int:
+        """1-based rank via the physical array's indexes (``O(log m)``)."""
+        return (
+            self._physical.real_between(0, self._physical.position_of(element)) + 1
+        )
+
     def _insert(self, rank: int, element: Hashable) -> OperationResult:
         result = OperationResult(Operation.insert(rank))
         self._physical.move_sink = result.moves

@@ -37,6 +37,17 @@ class RankError(LabelerError, ValueError):
         )
 
 
+class BatchError(LabelerError, ValueError):
+    """A batch operation was malformed.
+
+    Raised when a batch references an out-of-range rank against the
+    pre-batch state, when a delete batch names the same rank twice, or when
+    an insert batch would push the structure past its capacity.  The whole
+    batch is validated before any element moves, so a rejected batch leaves
+    the structure untouched.
+    """
+
+
 class CapacityError(LabelerError):
     """The structure was asked to store more elements than its capacity."""
 

@@ -10,6 +10,18 @@ implements :class:`ListLabeler`.  Beyond the two mutating operations the
 interface deliberately exposes the *physical* slot array — the embedding of
 Section 3 needs to observe exactly which slot each element of its simulated
 copy of ``F`` occupies in order to plan rebuilds.
+
+**Batch API.**  :meth:`ListLabeler.insert_batch` and
+:meth:`~ListLabeler.delete_batch` apply many operations in one call.  All
+ranks are interpreted against the **pre-batch** state, the application
+order is deterministic (stable ascending for inserts, descending for
+deletes), and the whole batch is validated — ranks in range, capacity not
+exceeded, no duplicate delete ranks — before any element moves, raising
+:class:`repro.core.exceptions.BatchError` otherwise.  The default
+implementation loops over the singleton hooks so every algorithm supports
+batches unchanged; array-based algorithms override the ``_insert_batch`` /
+``_delete_batch`` hooks to service the whole batch with a single merged
+rebalance (see :mod:`repro.algorithms.base`).
 """
 
 from __future__ import annotations
@@ -18,8 +30,14 @@ import abc
 import math
 from typing import Hashable, Iterator, Sequence
 
-from repro.core.exceptions import CapacityError, LabelerError, RankError
-from repro.core.operations import DELETE, INSERT, Operation, OperationResult
+from repro.core.exceptions import BatchError, CapacityError, LabelerError, RankError
+from repro.core.operations import (
+    DELETE,
+    INSERT,
+    BatchResult,
+    Operation,
+    OperationResult,
+)
 
 
 class ListLabeler(abc.ABC):
@@ -119,6 +137,108 @@ class ListLabeler(abc.ABC):
         self._size -= 1
         return result
 
+    # ------------------------------------------------------------------
+    # Batched mutating operations
+    # ------------------------------------------------------------------
+    def insert_batch(
+        self, items: Sequence[tuple[int, Hashable]]
+    ) -> BatchResult:
+        """Insert a batch of ``(rank, element)`` pairs in one call.
+
+        Every rank is interpreted against the **pre-batch** state: a pair
+        ``(r, e)`` places ``e`` immediately before the element that held rank
+        ``r`` when the call started.  Pairs sharing a rank land in the order
+        given.  The batch is applied deterministically — items are stably
+        sorted by rank and applied in ascending order — so the final element
+        sequence is the merge of the current contents with the batch.
+
+        The whole batch is validated up front: :class:`BatchError` is raised
+        (before any element moves) when a rank falls outside
+        ``[1, size + 1]`` or the batch would exceed the capacity.
+
+        The default implementation loops over singleton :meth:`insert` calls;
+        array-based subclasses override the :meth:`_insert_batch` hook with a
+        single merged rebalance pass, which is what makes bulk loads cheap.
+        """
+        prepared = self._prepare_insert_batch(items)
+        if not prepared:
+            return BatchResult(count=0)
+        results = self._insert_batch(prepared)
+        return BatchResult(count=len(prepared), results=results)
+
+    def delete_batch(self, ranks: Sequence[int]) -> BatchResult:
+        """Delete the elements holding the given **pre-batch** ranks.
+
+        Ranks are interpreted against the state before the call; duplicates
+        (which would delete one element twice) raise :class:`BatchError`, as
+        do ranks outside ``[1, size]`` — in both cases before any element
+        moves.  The batch is applied deterministically in descending rank
+        order, which keeps every remaining pre-batch rank valid.
+        """
+        prepared = self._prepare_delete_batch(ranks)
+        if not prepared:
+            return BatchResult(count=0)
+        results = self._delete_batch(prepared)
+        return BatchResult(count=len(prepared), results=results)
+
+    def _prepare_insert_batch(
+        self, items: Sequence[tuple[int, Hashable]]
+    ) -> list[tuple[int, Hashable]]:
+        """Validate an insert batch and return it stably sorted by rank."""
+        prepared = [(rank, element) for rank, element in items]
+        for rank, _ in prepared:
+            if not 1 <= rank <= self._size + 1:
+                raise BatchError(
+                    f"insert_batch rank {rank} out of range for a structure "
+                    f"holding {self._size} element(s)"
+                )
+        if self._size + len(prepared) > self._capacity:
+            raise BatchError(
+                f"insert_batch of {len(prepared)} element(s) exceeds capacity "
+                f"{self._capacity} (size {self._size})"
+            )
+        prepared.sort(key=lambda item: item[0])  # stable: ties keep order
+        return prepared
+
+    def _prepare_delete_batch(self, ranks: Sequence[int]) -> list[int]:
+        """Validate a delete batch and return its ranks sorted descending."""
+        prepared = list(ranks)
+        seen: set[int] = set()
+        for rank in prepared:
+            if not 1 <= rank <= self._size:
+                raise BatchError(
+                    f"delete_batch rank {rank} out of range for a structure "
+                    f"holding {self._size} element(s)"
+                )
+            if rank in seen:
+                raise BatchError(f"delete_batch names rank {rank} twice")
+            seen.add(rank)
+        prepared.sort(reverse=True)
+        return prepared
+
+    def _insert_batch(
+        self, prepared: Sequence[tuple[int, Hashable]]
+    ) -> list[OperationResult]:
+        """Apply a validated, rank-sorted insert batch; must update the size.
+
+        The default loops over the singleton hook: the ``i``-th prepared item
+        (0-based) goes to rank ``rank + i``, which realizes the pre-batch
+        rank semantics under sequential application.
+        """
+        results = []
+        for offset, (rank, element) in enumerate(prepared):
+            results.append(self._insert(rank + offset, element))
+            self._size += 1
+        return results
+
+    def _delete_batch(self, prepared: Sequence[int]) -> list[OperationResult]:
+        """Apply a validated, descending-sorted delete batch; updates the size."""
+        results = []
+        for rank in prepared:
+            results.append(self._delete(rank))
+            self._size -= 1
+        return results
+
     def apply(self, operation: Operation, element: Hashable | None = None) -> OperationResult:
         """Apply an :class:`Operation`, generating an element if needed.
 
@@ -174,12 +294,34 @@ class ListLabeler(abc.ABC):
     def slot_of(self, element: Hashable) -> int:
         """Physical slot index currently holding ``element``.
 
-        The default implementation scans :meth:`slots`; subclasses that keep
-        a reverse index may override it.
+        The default implementation is an ``O(m)`` scan of :meth:`slots` — a
+        last-resort fallback only.  Every concrete structure in this library
+        overrides it with an indexed ``O(1)``/``O(log m)`` lookup
+        (:class:`repro.algorithms.base.DenseArrayLabeler` via its position
+        dict, the embedding via the physical array's index), and callers on
+        hot paths must go through those overrides rather than this scan —
+        ``tests/test_interface.py`` guards that no registered algorithm
+        silently falls back here.
         """
         for index, item in enumerate(self.slots()):
             if item == element:
                 return index
+        raise KeyError(f"element {element!r} is not stored")
+
+    def rank_of(self, element: Hashable) -> int:
+        """1-based rank of a stored element.
+
+        The default implementation scans the slot array (``O(m)``);
+        subclasses with occupancy indexes override it with an
+        ``O(log m)`` rank query.
+        """
+        rank = 0
+        for item in self.slots():
+            if item is None:
+                continue
+            rank += 1
+            if item == element:
+                return rank
         raise KeyError(f"element {element!r} is not stored")
 
     def labels(self) -> dict[Hashable, int]:

@@ -85,7 +85,7 @@ class InterleavedComposition:
         element = self._merged.pop(rank - 1)
         owner = self._owner.pop(element)
         component = self._first if owner == "first" else self._second
-        component_rank = list(component.elements()).index(element) + 1
+        component_rank = component.rank_of(element)
         result = component.delete(component_rank)
         deadweight = self._deadweight_for(result, owner)
         cost = result.cost + deadweight

@@ -128,3 +128,41 @@ class OperationResult:
 def total_cost(results: Sequence[OperationResult]) -> int:
     """Sum of costs over a sequence of operation results."""
     return sum(result.cost for result in results)
+
+
+@dataclass
+class BatchResult:
+    """The outcome of one ``insert_batch`` / ``delete_batch`` call.
+
+    ``count`` is the number of *logical* operations the batch contained;
+    ``results`` holds the physical work performed.  A loop fallback produces
+    one :class:`OperationResult` per logical operation, while an optimized
+    implementation that services the whole batch with a single merged pass
+    may report fewer results than operations — only the totals are
+    comparable across implementations.
+    """
+
+    count: int
+    results: list[OperationResult] = field(default_factory=list)
+
+    @property
+    def cost(self) -> int:
+        """Total element-move cost of the whole batch."""
+        return sum(result.cost for result in self.results)
+
+    @property
+    def amortized(self) -> float:
+        """Average element-move cost per logical operation of the batch."""
+        return self.cost / self.count if self.count else 0.0
+
+    @property
+    def moves(self) -> list[Move]:
+        """All moves performed while serving the batch, in execution order."""
+        return [move for result in self.results for move in result.moves]
+
+    def moved_elements(self) -> list[Hashable]:
+        """Elements that physically moved (or were placed), in move order."""
+        return [move.element for move in self.moves if move.cost > 0]
+
+    def __iter__(self) -> Iterator[OperationResult]:
+        return iter(self.results)

@@ -57,6 +57,30 @@ class Workload(abc.ABC):
     def __iter__(self) -> Iterator[Operation]:
         """Yield the operation stream (may be consumed only once per call)."""
 
+    def iter_batches(self, batch_size: int) -> Iterator[list[Operation]]:
+        """Yield the stream grouped into batches for batched execution.
+
+        A batch holds up to ``batch_size`` *consecutive same-kind*
+        operations (mixed insert/delete batches are never produced); the
+        concatenation of the batches is exactly the singleton stream, with
+        each operation's rank still interpreted against the state left by
+        all preceding operations.  Workloads with natural batch structure
+        (e.g. the bulk loader's sorted runs) override this to emit their
+        own run-aligned batches.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        batch: list[Operation] = []
+        for operation in self:
+            if batch and (
+                len(batch) >= batch_size or batch[0].kind != operation.kind
+            ):
+                yield batch
+                batch = []
+            batch.append(operation)
+        if batch:
+            yield batch
+
     def describe(self) -> dict[str, object]:
         """Metadata dictionary used by the benchmark report tables."""
         return {

@@ -30,13 +30,32 @@ class BulkLoadWorkload(Workload):
         self.seed = seed
 
     def __iter__(self) -> Iterator[Operation]:
+        for run in self._runs():
+            yield from run
+
+    def iter_batches(self, batch_size: int) -> Iterator[list[Operation]]:
+        """Emit the sorted runs themselves as batches.
+
+        Each run is a natural unit of batched ingestion (one partition /
+        LSM flush): all of its insertions share one pre-batch rank, so a
+        batched labeler can lay the whole run out with a single merge.
+        Runs longer than ``batch_size`` are split.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        for run in self._runs():
+            for start in range(0, len(run), batch_size):
+                yield run[start : start + batch_size]
+
+    def _runs(self) -> Iterator[list[Operation]]:
         rng = random.Random(self.seed)
         size = 0
         remaining = self.operations
         while remaining > 0:
             batch = min(self.batch_size, remaining)
             start_rank = rng.randint(1, size + 1)
-            for offset in range(batch):
-                yield Operation.insert(start_rank + offset)
-                size += 1
+            yield [
+                Operation.insert(start_rank + offset) for offset in range(batch)
+            ]
+            size += batch
             remaining -= batch

@@ -1,0 +1,116 @@
+"""Differential fuzz tests: every algorithm vs. the reference model.
+
+Seeded random mixed sequences of singleton inserts/deletes and
+``insert_batch`` / ``delete_batch`` calls are run against every registered
+algorithm (standalone and composite) in lockstep with a plain sorted-list
+reference model.  After every step group the structure must hold exactly
+the reference's elements in the same order, report the right size, and
+pass the full physical-state validation of
+:func:`repro.core.validation.check_labeler`.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.validation import check_labeler
+from tests.conftest import ALGORITHM_FACTORIES, COMPOSITE_FACTORIES
+
+ALL_FACTORIES = {**ALGORITHM_FACTORIES, **COMPOSITE_FACTORIES}
+
+
+def _key_between(reference, rank):
+    lower = reference[rank - 2] if rank >= 2 else None
+    upper = reference[rank - 1] if rank - 1 < len(reference) else None
+    if lower is None and upper is None:
+        return Fraction(0)
+    if lower is None:
+        return upper - 1
+    if upper is None:
+        return lower + 1
+    return (lower + upper) / 2
+
+
+def _random_insert_batch(rng, reference, room, max_batch):
+    """A random valid insert batch plus the post-batch reference state."""
+    k = rng.randint(1, min(max_batch, room))
+    ranks = sorted(rng.choices(range(1, len(reference) + 2), k=k))
+    updated = list(reference)
+    items = []
+    for offset, rank in enumerate(ranks):
+        key = _key_between(updated, rank + offset)
+        updated.insert(rank + offset - 1, key)
+        items.append((rank, key))
+    return items, updated
+
+
+def _check(labeler, reference):
+    assert len(labeler) == len(reference)
+    assert list(labeler.elements()) == reference
+    check_labeler(labeler, expected=reference)
+
+
+def _run_differential(factory, *, seed, capacity, steps, use_batches):
+    rng = random.Random(seed)
+    labeler = factory(capacity)
+    reference: list[Fraction] = []
+    batch_calls = 0
+    for _ in range(steps):
+        roll = rng.random()
+        room = capacity - len(reference)
+        if use_batches and roll < 0.25 and room >= 1:
+            items, reference = _random_insert_batch(
+                rng, reference, room, max_batch=24
+            )
+            result = labeler.insert_batch(items)
+            assert result.count == len(items)
+            batch_calls += 1
+        elif use_batches and roll < 0.40 and reference:
+            k = rng.randint(1, min(16, len(reference)))
+            ranks = rng.sample(range(1, len(reference) + 1), k)
+            labeler.delete_batch(ranks)
+            for rank in sorted(ranks, reverse=True):
+                reference.pop(rank - 1)
+            batch_calls += 1
+        elif reference and (room == 0 or roll < 0.55):
+            rank = rng.randint(1, len(reference))
+            labeler.delete(rank)
+            reference.pop(rank - 1)
+        else:
+            rank = rng.randint(1, len(reference) + 1)
+            key = _key_between(reference, rank)
+            labeler.insert(rank, key)
+            reference.insert(rank - 1, key)
+        _check(labeler, reference)
+    if use_batches:
+        assert batch_calls > 0
+    return labeler
+
+
+@pytest.mark.parametrize("use_batches", [False, True], ids=["singleton", "batched"])
+@pytest.mark.parametrize("name", sorted(ALGORITHM_FACTORIES))
+def test_standalone_algorithms_match_reference(name, use_batches):
+    for seed in (0, 1, 2):
+        _run_differential(
+            ALGORITHM_FACTORIES[name],
+            seed=seed,
+            capacity=220,
+            steps=60,
+            use_batches=use_batches,
+        )
+
+
+@pytest.mark.parametrize("use_batches", [False, True], ids=["singleton", "batched"])
+@pytest.mark.parametrize("name", sorted(COMPOSITE_FACTORIES))
+def test_composite_structures_match_reference(name, use_batches):
+    # Composites are slower per operation; keep the runs shorter.
+    _run_differential(
+        COMPOSITE_FACTORIES[name],
+        seed=3,
+        capacity=150,
+        steps=40,
+        use_batches=use_batches,
+    )

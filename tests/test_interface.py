@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+from fractions import Fraction
+
 import pytest
 
 from repro.algorithms import NaiveLabeler
 from repro.core import Operation
 from repro.core.exceptions import CapacityError, RankError
+from repro.core.interface import ListLabeler
+from tests.conftest import ALGORITHM_FACTORIES, COMPOSITE_FACTORIES
 
 
 class TestRankValidation:
@@ -76,6 +80,53 @@ class TestViews:
         assert labeler.slot_of("a") == 0
         with pytest.raises(KeyError):
             labeler.slot_of("missing")
+
+    def test_rank_of(self):
+        labeler = NaiveLabeler(8)
+        for index in range(5):
+            labeler.insert(index + 1, index * 10)
+        for index, element in enumerate(labeler.elements()):
+            assert labeler.rank_of(element) == index + 1
+        with pytest.raises(KeyError):
+            labeler.rank_of("missing")
+
+
+class TestIndexedLookups:
+    """Regression: no registered structure may use the base O(n) scans.
+
+    ``ListLabeler.slot_of`` / ``rank_of`` default to a linear scan of the
+    slot array; every registered algorithm and composite keeps an index and
+    must override them, so hot-path callers (the R-shell, the applications,
+    the interleaving cost model) never silently degrade to O(n) lookups.
+    """
+
+    @staticmethod
+    def _fill(factory):
+        labeler = factory(64)
+        for index in range(24):
+            labeler.insert(index + 1, Fraction(index))
+        return labeler
+
+    @pytest.mark.parametrize(
+        "name", sorted(ALGORITHM_FACTORIES) + sorted(COMPOSITE_FACTORIES)
+    )
+    def test_no_fallback_scan(self, name, monkeypatch):
+        factory = {**ALGORITHM_FACTORIES, **COMPOSITE_FACTORIES}[name]
+        labeler = self._fill(factory)
+        expected_slots = {
+            element: labeler.slot_of(element) for element in labeler.elements()
+        }
+
+        def scan_used(self, element):
+            raise AssertionError(
+                f"{type(self).__name__} fell back to the O(n) interface scan"
+            )
+
+        monkeypatch.setattr(ListLabeler, "slot_of", scan_used)
+        monkeypatch.setattr(ListLabeler, "rank_of", scan_used)
+        for index, element in enumerate(labeler.elements()):
+            assert labeler.slot_of(element) == expected_slots[element]
+            assert labeler.rank_of(element) == index + 1
 
 
 class TestApply:

@@ -1,0 +1,61 @@
+"""Tests for the blocked reference model used by the workload runner."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.reference import ChunkedList
+
+
+class TestChunkedList:
+    def test_construction_from_iterable(self):
+        chunked = ChunkedList(range(100))
+        assert len(chunked) == 100
+        assert chunked.to_list() == list(range(100))
+        assert list(chunked) == list(range(100))
+
+    def test_point_access(self):
+        chunked = ChunkedList(range(50))
+        assert chunked[0] == 0
+        assert chunked[49] == 49
+        assert chunked[-1] == 49
+        with pytest.raises(IndexError):
+            chunked[50]
+
+    def test_insert_and_pop_bounds(self):
+        chunked = ChunkedList()
+        with pytest.raises(IndexError):
+            chunked.insert(1, "x")
+        with pytest.raises(IndexError):
+            chunked.pop(0)
+
+    def test_matches_list_under_random_operations(self):
+        rng = random.Random(17)
+        chunked = ChunkedList()
+        model: list[int] = []
+        for step in range(3000):
+            if model and rng.random() < 0.35:
+                index = rng.randrange(len(model))
+                assert chunked.pop(index) == model.pop(index)
+            else:
+                index = rng.randint(0, len(model))
+                chunked.insert(index, step)
+                model.insert(index, step)
+            if step % 250 == 0:
+                assert chunked.to_list() == model
+        assert chunked.to_list() == model
+        assert chunked == model
+
+    def test_blocks_stay_near_sqrt_size(self):
+        chunked = ChunkedList()
+        for value in range(10_000):
+            chunked.insert(len(chunked), value)
+        block_count = len(chunked._blocks)
+        # ~ n / sqrt(n) = sqrt(n) = 100 blocks, allow generous slack.
+        assert 30 <= block_count <= 700
+
+    def test_fixed_block_size_is_respected(self):
+        chunked = ChunkedList(range(1000), block_size=10)
+        assert all(len(block) <= 20 for block in chunked._blocks)
