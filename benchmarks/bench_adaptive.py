@@ -2,14 +2,14 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, expect, sweep_sizes
 from repro.algorithms import AdaptivePMA, ClassicalPMA
 from repro.analysis import estimate_log_exponent, run_workload
 from repro.workloads import HammerWorkload
 
 
 def test_adaptive_advantage_grows_with_n(run_once):
-    sizes = [256, 512, 1024, 2048, 4096]
+    sizes = sweep_sizes([256, 512, 1024, 2048, 4096])
 
     def experiment():
         rows = []
@@ -36,5 +36,5 @@ def test_adaptive_advantage_grows_with_n(run_once):
         f"{classical_exp:.2f}.  Expected shape: the ratio grows with n and the "
         "classical exponent exceeds the adaptive one (log² n vs ~log n).",
     )
-    assert rows[-1]["ratio"] > 1.5
-    assert classical_exp > adaptive_exp
+    expect(rows[-1]["ratio"] > 1.5, "adaptive advantage should exceed 1.5x at the largest n")
+    expect(classical_exp > adaptive_exp, "classical log-exponent should exceed the adaptive one")

@@ -12,7 +12,7 @@ to amortize the merge.
 
 from __future__ import annotations
 
-from benchmarks.conftest import BASE_FACTORIES, DEFAULT_N, emit
+from benchmarks.conftest import BASE_FACTORIES, DEFAULT_N, emit, expect
 from repro.analysis import run_workload
 from repro.workloads.bulk import BulkLoadWorkload
 
@@ -53,9 +53,10 @@ def test_batched_beats_singleton_on_bulk_loads(run_once):
     for row in rows:
         for batch_size in BATCH_SIZES:
             if batch_size >= 64:
-                assert row[f"batched_{batch_size}"] < row["singleton_total"], (
+                expect(
+                    row[f"batched_{batch_size}"] < row["singleton_total"],
                     f"{row['structure']}: batch={batch_size} should beat "
-                    "singleton execution on bulk loads"
+                    "singleton execution on bulk loads",
                 )
 
 
@@ -88,6 +89,8 @@ def test_batched_amortized_per_element_scales_down(run_once):
         note="Bigger batches share one rebalance across more elements.",
     )
     for row in rows:
-        assert row[f"per_element_{max(BATCH_SIZES)}"] <= row[
-            f"per_element_{min(BATCH_SIZES)}"
-        ] * 1.5
+        expect(
+            row[f"per_element_{max(BATCH_SIZES)}"]
+            <= row[f"per_element_{min(BATCH_SIZES)}"] * 1.5,
+            f"{row['structure']}: larger batches should amortize at least as well",
+        )

@@ -7,7 +7,7 @@ the worst case bounded even when predictions are garbage.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, expect, scaled
 from repro.algorithms import ClassicalPMA, LearnedLabeler
 from repro.analysis import run_workload
 from repro.core import make_corollary12_labeler
@@ -15,7 +15,7 @@ from repro.workloads import PredictedWorkload
 
 
 def test_corollary12_prediction_error_sweep(run_once):
-    n = 1024
+    n = scaled(1024)
     etas = [0, 4, 32, 256, n]
 
     def experiment():
@@ -58,5 +58,11 @@ def test_corollary12_prediction_error_sweep(run_once):
         "worst-case column stays far below n for every η.",
     )
     numeric = [row for row in rows if isinstance(row["eta"], int)]
-    assert numeric[0]["learned amortized"] <= numeric[-1]["learned amortized"]
-    assert all(row["layered worst"] < n / 2 for row in numeric)
+    expect(
+        numeric[0]["learned amortized"] <= numeric[-1]["learned amortized"],
+        "the learned labeler's cost should grow with the prediction error",
+    )
+    expect(
+        all(row["layered worst"] < n / 2 for row in numeric),
+        "the layered worst case should stay far below n for every eta",
+    )

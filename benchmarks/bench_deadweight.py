@@ -9,13 +9,13 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, expect, scaled
 from repro.algorithms import AdaptivePMA, ClassicalPMA, NaiveLabeler
 from repro.core import Embedding, InterleavedComposition
 
 
 def test_deadweight_bounded_in_embedding_unbounded_in_strawman(run_once):
-    n = 1024
+    n = scaled(1024)
 
     def experiment():
         embedding = Embedding(
@@ -63,5 +63,8 @@ def test_deadweight_bounded_in_embedding_unbounded_in_strawman(run_once):
         "at a small constant (Lemma 5 bound is 4); the strawman drags some "
         "elements around an unbounded number of times.",
     )
-    assert rows[0]["max deadweight per element"] <= 8
-    assert rows[1]["max deadweight per element"] > rows[0]["max deadweight per element"]
+    expect(rows[0]["max deadweight per element"] <= 8, "Lemma 5: per-element deadweight stays a small constant")
+    expect(
+        rows[1]["max deadweight per element"] > rows[0]["max deadweight per element"],
+        "the interleaving strawman should drag elements around more",
+    )

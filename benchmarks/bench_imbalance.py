@@ -9,13 +9,13 @@ from __future__ import annotations
 
 from fractions import Fraction
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, expect, scaled
 from repro.algorithms import ClassicalPMA, NaiveLabeler
 from repro.core import Embedding
 
 
 def test_rebuild_spans_and_buffer_occupancy(run_once):
-    n = 1024
+    n = scaled(1024)
 
     def experiment():
         embedding = Embedding(
@@ -66,5 +66,12 @@ def test_rebuild_spans_and_buffer_occupancy(run_once):
         "buffer occupancy stays well below the εn available buffer slots.",
     )
     metrics = {row["metric"]: row["value"] for row in rows}
-    assert metrics["max rebuild span (operations)"] < n / 2
-    assert metrics["peak buffered elements"] < metrics["dummy buffer slots remaining (min ≥ 1)"] + n // 4
+    expect(
+        metrics["max rebuild span (operations)"] < n / 2,
+        "Lemma 6: rebuild spans stay o(n)",
+    )
+    expect(
+        metrics["peak buffered elements"]
+        < metrics["dummy buffer slots remaining (min ≥ 1)"] + n // 4,
+        "Lemma 7: the buffer never comes close to filling",
+    )

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, scaled
 from repro.algorithms import NaiveLabeler, RandomizedPMA
 from repro.analysis import run_workload
 from repro.core import Embedding
@@ -10,7 +10,9 @@ from repro.workloads import RandomWorkload
 
 
 def test_shell_input_identical_across_reliable_seeds(run_once):
-    n = 512
+    # Lemma 4 is a determinism claim, valid at any size — its assertions
+    # below stay hard even in quick mode.
+    n = scaled(512)
     seeds = [1, 2, 3, 5, 8, 13]
 
     def experiment():

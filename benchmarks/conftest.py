@@ -7,11 +7,20 @@ paper's cost metric, element moves, not wall-clock time) and prints the
 comparison table whose *shape* reproduces the paper's claim.
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+
+**Quick mode.**  Setting ``REPRO_BENCH_QUICK=1`` shrinks every experiment to
+a tiny ``n`` (:func:`scaled`) and demotes the asymptotic *shape* assertions
+(:func:`expect`) to printed notes: at smoke-test sizes the paper's
+asymptotic claims do not hold, and the point of the CI benchmark smoke job
+is to catch import/API/workload rot, not to re-verify the paper.  Hard
+``assert`` statements in the benchmarks remain hard in quick mode — they
+are reserved for size-independent correctness claims.
 """
 
 from __future__ import annotations
 
 import math
+import os
 
 import pytest
 
@@ -24,9 +33,43 @@ from repro.algorithms import (
 )
 from repro.analysis import format_table, run_workload
 
+#: True when the CI smoke job (or a developer) asks for the tiny-n run.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Experiment size cap in quick mode; big enough for every structure's
+#: minimum-slack requirements, small enough that the whole benchmark
+#: directory runs in seconds.
+QUICK_N = 128
+
+
+def scaled(n: int) -> int:
+    """The experiment's real size, or the tiny quick-mode stand-in."""
+    return min(n, QUICK_N) if QUICK else n
+
+
+def sweep_sizes(sizes: list[int]) -> list[int]:
+    """A size sweep for exponent fits; shrunk but still strictly growing
+    in quick mode (a flat sweep would make the log-fit degenerate)."""
+    return [48, 80, 128] if QUICK else sizes
+
+
+def expect(condition: bool, message: str = "") -> None:
+    """Check an experiment's asymptotic shape claim.
+
+    A hard assertion on a real run; in quick mode the claim is only
+    reported, because the asymptotic shapes do not hold at tiny n.
+    """
+    if condition:
+        return
+    if QUICK:
+        print(f"[quick mode] shape claim skipped (fails at tiny n): {message}")
+        return
+    raise AssertionError(message or "benchmark shape claim failed")
+
+
 #: Problem size used by most experiments; large enough for the asymptotic
 #: shapes to show, small enough for a pure-Python run to stay quick.
-DEFAULT_N = 2048
+DEFAULT_N = scaled(2048)
 
 #: Standalone algorithm factories reused across experiments.
 BASE_FACTORIES = {

@@ -47,8 +47,10 @@ from repro.algorithms import (
     NaiveLabeler,
     NoisyPredictor,
     RandomizedPMA,
+    ShardedLabeler,
     SparseNaiveLabeler,
     StalePredictor,
+    make_sharded_labeler,
 )
 
 __version__ = "1.0.0"
@@ -70,9 +72,11 @@ __all__ = [
     "Operation",
     "OperationResult",
     "RandomizedPMA",
+    "ShardedLabeler",
     "SparseNaiveLabeler",
     "StalePredictor",
     "make_corollary11_labeler",
     "make_corollary12_labeler",
+    "make_sharded_labeler",
     "__version__",
 ]

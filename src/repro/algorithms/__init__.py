@@ -16,6 +16,11 @@ Each module implements one of the algorithm families the paper composes:
   style of McCauley et al. [35], the algorithm ``X`` of Corollary 12;
 * :mod:`repro.algorithms.predictions` — rank predictors used by the
   learning-augmented labeler and the predicted workloads.
+
+The sharding engine (:class:`repro.core.sharded.ShardedLabeler`) is
+re-exported here with :func:`make_sharded_labeler` because it composes with
+every algorithm above: any of these factories can serve as its shard
+building block, lifting the fixed-capacity algorithm to unbounded size.
 """
 
 from repro.algorithms.naive import NaiveLabeler, SparseNaiveLabeler
@@ -30,6 +35,25 @@ from repro.algorithms.predictions import (
     RankPredictor,
     StalePredictor,
 )
+from repro.core.sharded import ShardedLabeler, ShardFactory
+
+
+def make_sharded_labeler(
+    shard_factory: ShardFactory | None = None,
+    *,
+    shard_capacity: int = 64,
+    **kwargs,
+) -> ShardedLabeler:
+    """An unbounded labeler over shards of any registered algorithm.
+
+    Defaults to :class:`ClassicalPMA` shards — the production profile: each
+    shard pays the classical ``O(log² n)`` amortized cost at ``n`` capped by
+    ``shard_capacity``, and the directory keeps every operation local.
+    """
+    if shard_factory is None:
+        shard_factory = ClassicalPMA
+    return ShardedLabeler(shard_factory, shard_capacity=shard_capacity, **kwargs)
+
 
 __all__ = [
     "AdaptivePMA",
@@ -41,6 +65,8 @@ __all__ = [
     "NoisyPredictor",
     "RandomizedPMA",
     "RankPredictor",
+    "ShardedLabeler",
     "SparseNaiveLabeler",
     "StalePredictor",
+    "make_sharded_labeler",
 ]

@@ -312,13 +312,18 @@ class DenseArrayLabeler(ListLabeler):
             raise RuntimeError("bulk_load requires an empty structure")
         if len(elements) > self.capacity:
             raise ValueError("bulk_load exceeds the structure's capacity")
-        targets = self.even_targets(0, self.num_slots, len(elements))
+        targets = self._bulk_targets(len(elements))
         for element, target in zip(elements, targets):
             self._slots[target] = element
             self._occupancy.set(target, 1)
             self._position[element] = target
         self._size = len(elements)
         return len(elements)
+
+    def _bulk_targets(self, count: int) -> list[int]:
+        """Slot targets of a bulk load; must match the subclass's layout
+        invariant (left-packed subclasses override with a packed prefix)."""
+        return self.even_targets(0, self.num_slots, count)
 
     @staticmethod
     def even_targets(lo: int, hi: int, count: int) -> list[int]:

@@ -67,6 +67,11 @@ class NaiveLabeler(DenseArrayLabeler):
     def _batch_targets(self, lo: int, hi: int, count: int) -> list[int]:
         return list(range(lo, lo + count))
 
+    def _bulk_targets(self, count: int) -> list[int]:
+        # The even spread of the base class would violate the left-packed
+        # invariant every other operation relies on.
+        return list(range(count))
+
     def _delete_batch(self, prepared: Sequence[int]) -> list[OperationResult]:
         """Remove all batch ranks, then compact the suffix in one pass."""
         if len(prepared) < 2:

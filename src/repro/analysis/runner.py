@@ -63,6 +63,19 @@ class RunResult:
         data = self.tracker.summary()
         data["elapsed_seconds"] = self.elapsed_seconds
         data["batch_size"] = float(self.batch_size)
+        shard_statistics = getattr(self.labeler, "shard_statistics", None)
+        if callable(shard_statistics):
+            # Event counters (splits/merges/moves) must be run-scoped: the
+            # tracker owns them (fed from the restructure-log slice of this
+            # run), while the labeler's counters are lifetime totals that
+            # would misattribute prior runs' work on a reused structure.
+            # Only the state-shaped keys come from the labeler.
+            stats = shard_statistics()
+            for key in ("splits", "merges", "restructure_moves"):
+                stats.pop(key, None)
+            data.update(stats)
+        if self.tracker.restructures:
+            data["restructure_moves"] = float(self.tracker.restructure_moves)
         return data
 
 
@@ -88,6 +101,10 @@ def run_workload(
     reference = ChunkedList(
         block_size=max(8, math.isqrt(max(1, workload.operations)))
     )
+    # Sharded structures log their splits/merges; only events appended
+    # during this run are attributed to it.
+    restructure_log = getattr(labeler, "restructure_log", None)
+    restructures_before = len(restructure_log) if restructure_log is not None else 0
     started = time.perf_counter()
 
     if batch_size > 1:
@@ -105,6 +122,9 @@ def run_workload(
         )
 
     elapsed = time.perf_counter() - started
+    if restructure_log is not None:
+        for kind, moves in restructure_log[restructures_before:]:
+            tracker.record_restructure(kind, moves)
     return RunResult(
         labeler=labeler,
         workload_name=workload.name,

@@ -8,16 +8,26 @@ bounds how much data movement each update causes.  Any
 the layered structure of Corollary 11, which gives the map bounded update
 latency, good expected throughput, and adaptivity to skewed key patterns all
 at once.
+
+With ``capacity=None`` the map is **unbounded**: the layout is managed by a
+:class:`repro.core.sharded.ShardedLabeler` over fixed-capacity shards, so
+the map keeps absorbing keys indefinitely while every update stays local to
+one shard.  Bulk ingestion goes through :meth:`PackedMemoryMap.update_many`,
+which forwards one pre-batch-rank ``insert_batch`` to the labeler — the
+batch engine's merged rebalances make sorted loads far cheaper than
+key-at-a-time insertion.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Callable, Hashable, Iterator
+import heapq
+from typing import Callable, Hashable, Iterable, Iterator
 
 from repro.core.cost import CostTracker
 from repro.core.interface import ListLabeler
 from repro.core.layered import make_corollary11_labeler
+from repro.core.sharded import ShardedLabeler
 
 
 class PackedMemoryMap:
@@ -26,20 +36,32 @@ class PackedMemoryMap:
     Parameters
     ----------
     capacity:
-        Maximum number of keys.
+        Maximum number of keys, or ``None`` for an unbounded map backed by
+        the sharding engine.
     labeler_factory:
-        Builds the underlying list labeler from ``capacity``.  Defaults to
-        the Corollary 11 layered structure.
+        Builds the underlying list labeler.  For a bounded map it receives
+        ``capacity`` and defaults to the Corollary 11 layered structure;
+        for an unbounded map it receives the *shard* capacity and serves as
+        the shard factory (default: the Corollary 11 structure per shard).
+    shard_capacity:
+        Shard size of the unbounded map (ignored when ``capacity`` is set).
     """
 
     def __init__(
         self,
-        capacity: int,
+        capacity: int | None = None,
         labeler_factory: Callable[[int], ListLabeler] | None = None,
+        *,
+        shard_capacity: int = 128,
     ) -> None:
         if labeler_factory is None:
             labeler_factory = lambda cap: make_corollary11_labeler(cap)
-        self._labeler = labeler_factory(capacity)
+        if capacity is None:
+            self._labeler: ListLabeler = ShardedLabeler(
+                labeler_factory, shard_capacity=shard_capacity
+            )
+        else:
+            self._labeler = labeler_factory(capacity)
         self._keys: list = []
         self._values: dict = {}
         #: Element-move cost of every update, in the paper's cost model.
@@ -69,6 +91,37 @@ class PackedMemoryMap:
         self.costs.record(result.cost)
         self._keys.insert(rank - 1, key)
         self._values[key] = value
+
+    def update_many(self, items: Iterable[tuple[Hashable, object]]) -> int:
+        """Bulk upsert: one batched labeler call for all new keys.
+
+        Existing keys only have their values replaced (no layout change).
+        New keys are inserted through ``insert_batch`` with pre-batch ranks
+        computed against the current key sequence, so a sorted ingest run
+        costs one merged rebalance per shard instead of one cascade per
+        key.  The batch keeps ``insert_batch``'s all-or-nothing contract:
+        a rejected batch (e.g. over a bounded map's capacity) leaves the
+        map untouched, overwrites included.  Returns the number of newly
+        inserted keys.
+        """
+        overwrites: dict = {}
+        fresh: dict = {}
+        for key, value in items:
+            if key in self._values:
+                overwrites[key] = value
+            else:
+                fresh[key] = value
+        if fresh:
+            new_keys = sorted(fresh)
+            batch = [
+                (bisect.bisect_left(self._keys, key) + 1, key) for key in new_keys
+            ]
+            result = self._labeler.insert_batch(batch)
+            self.costs.record_batch(result.cost, result.count)
+            self._keys = list(heapq.merge(self._keys, new_keys))
+            self._values.update(fresh)
+        self._values.update(overwrites)
+        return len(fresh)
 
     def __delitem__(self, key) -> None:
         if key not in self._values:

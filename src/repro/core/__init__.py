@@ -32,6 +32,7 @@ from repro.core.layered import (
     make_corollary12_labeler,
 )
 from repro.core.interleaved import InterleavedComposition
+from repro.core.sharded import ShardedLabeler
 
 __all__ = [
     "BatchError",
@@ -50,6 +51,7 @@ __all__ = [
     "Operation",
     "OperationResult",
     "RankError",
+    "ShardedLabeler",
     "WindowStatistics",
     "make_corollary11_labeler",
     "make_corollary12_labeler",

@@ -55,6 +55,8 @@ class CostTracker:
         self._operations = 0
         self._total = 0
         self._max = 0
+        self._restructures: dict[str, int] = {}
+        self._restructure_moves: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -89,6 +91,21 @@ class CostTracker:
     def record_many(self, costs: Iterable[int]) -> None:
         for cost in costs:
             self.record(cost)
+
+    def record_restructure(self, kind: str, moves: int) -> None:
+        """Record one structural event (a shard split/merge, a rebuild, …).
+
+        Restructuring moves are already part of the operation costs that
+        triggered them — this records a *breakdown* by event kind, not
+        additional cost, so reports can separate steady-state traffic from
+        structural maintenance (the sharding engine's splits and merges).
+        """
+        if moves < 0:
+            raise ValueError("restructure moves cannot be negative")
+        self._restructures[kind] = self._restructures.get(kind, 0) + 1
+        self._restructure_moves[kind] = (
+            self._restructure_moves.get(kind, 0) + moves
+        )
 
     # ------------------------------------------------------------------
     # Basic statistics
@@ -145,6 +162,27 @@ class CostTracker:
             "amortized_per_element": total / elements,
             "worst_batch": float(max(cost for cost, _ in pairs)),
         }
+
+    # ------------------------------------------------------------------
+    # Structural (restructure) statistics
+    # ------------------------------------------------------------------
+    @property
+    def restructures(self) -> int:
+        """Total structural events recorded (splits + merges + …)."""
+        return sum(self._restructures.values())
+
+    @property
+    def restructure_moves(self) -> int:
+        """Total element moves attributed to structural events."""
+        return sum(self._restructure_moves.values())
+
+    def structure_statistics(self) -> dict[str, float]:
+        """Per-kind structural statistics (empty dict when none recorded)."""
+        stats: dict[str, float] = {}
+        for kind in sorted(self._restructures):
+            stats[f"{kind}s"] = float(self._restructures[kind])
+            stats[f"{kind}_moves"] = float(self._restructure_moves[kind])
+        return stats
 
     @property
     def costs(self) -> Sequence[int]:
@@ -239,6 +277,14 @@ class CostTracker:
         for tracker in (self, other):
             for cost, weight in zip(tracker._costs, tracker._weights):
                 merged._record_event(cost, weight)
+            for kind, count in tracker._restructures.items():
+                merged._restructures[kind] = (
+                    merged._restructures.get(kind, 0) + count
+                )
+            for kind, moves in tracker._restructure_moves.items():
+                merged._restructure_moves[kind] = (
+                    merged._restructure_moves.get(kind, 0) + moves
+                )
         return merged
 
     def summary(self) -> dict[str, float]:
@@ -252,6 +298,7 @@ class CostTracker:
             "p99": float(self.percentile(0.99)),
         }
         data.update(self.batch_statistics())
+        data.update(self.structure_statistics())
         return data
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

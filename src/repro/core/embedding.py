@@ -91,7 +91,17 @@ class Embedding(ListLabeler):
         if self.e_r < 1:
             raise ValueError("reliable_expected_cost must be at least 1")
         self.rebuild_work_factor = rebuild_work_factor
-        self._work_budget = max(1, int(math.ceil(rebuild_work_factor * self.e_r)))
+        # Lemma 7 requires the rebuild to complete before the ~εn dummy
+        # buffer slots run out: a rebuild costs up to (1 + ε)n moves while
+        # only ~εn slow operations can be buffered, so the per-operation
+        # budget needs a floor of ~(1 + ε)/ε units (with a factor-2 safety
+        # margin for the small-n integer effects) no matter how small the
+        # caller's E_R is.  For the default E_R = Θ(log² n) the floor is
+        # inactive.
+        lemma7_floor = int(math.ceil(2.0 * (1.0 + self.epsilon) / self.epsilon))
+        self._work_budget = max(
+            lemma7_floor, int(math.ceil(rebuild_work_factor * self.e_r))
+        )
 
         self._physical = PhysicalArray(num_slots)
         self._shell = RShell(

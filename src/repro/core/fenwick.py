@@ -9,13 +9,25 @@ primitives that are awkward on a plain Python list:
 Both are ``O(log m)`` with a Fenwick tree, which keeps the pure-Python
 implementations fast enough to run the paper's experiments at
 ``n`` up to a few hundred thousand elements.
+
+The tree also supports general non-negative integer weights via
+:meth:`FenwickTree.add`: position ``i`` may hold any count, ``prefix`` sums
+counts, and ``select(k)`` finds the position containing the ``k``-th unit.
+This is what the shard directory of :class:`repro.core.sharded.ShardedLabeler`
+uses — one position per shard holding that shard's element count, so a
+global rank routes to its shard in ``O(log K)``.  The 0/1 :meth:`set` /
+:meth:`rank_of` occupancy API is unchanged and keeps its strict validation.
 """
 
 from __future__ import annotations
 
 
 class FenwickTree:
-    """Fenwick tree over a fixed-size 0/1 occupancy vector."""
+    """Fenwick tree over a fixed-size vector of non-negative counts.
+
+    The common use is as a 0/1 occupancy vector (:meth:`set`); the weighted
+    :meth:`add` API generalizes it to arbitrary non-negative counts.
+    """
 
     def __init__(self, size: int) -> None:
         if size < 0:
@@ -28,23 +40,58 @@ class FenwickTree:
         while self._top_bit * 2 <= size:
             self._top_bit *= 2
 
+    @classmethod
+    def from_values(cls, values: "list[int]") -> "FenwickTree":
+        """Build a tree over ``values`` in ``O(size)`` (vs ``O(size log size)``
+        via repeated :meth:`add`) — the shard directory rebuilds through
+        this on every split/merge."""
+        tree = cls(len(values))
+        for value in values:
+            if value < 0:
+                raise ValueError("counts must be non-negative")
+        tree._values = list(values)
+        table = tree._tree
+        for i in range(1, tree._size + 1):
+            table[i] += values[i - 1]
+            parent = i + (i & (-i))
+            if parent <= tree._size:
+                table[parent] += table[i]
+        return tree
+
     # ------------------------------------------------------------------
     @property
     def size(self) -> int:
         return self._size
 
     def value(self, index: int) -> int:
-        """Current 0/1 value at ``index``."""
+        """Current count at ``index`` (0 or 1 under the occupancy API)."""
         return self._values[index]
 
     def set(self, index: int, value: int) -> None:
         """Set position ``index`` to ``value`` (0 or 1)."""
         if value not in (0, 1):
             raise ValueError("occupancy values must be 0 or 1")
-        delta = value - self._values[index]
+        self._apply_delta(index, value - self._values[index])
+
+    def add(self, index: int, delta: int) -> None:
+        """Add ``delta`` to the count at ``index`` (weighted API).
+
+        The resulting count must stay non-negative; ``select``/``prefix``
+        then operate over units rather than occupied slots.
+        """
+        if self._values[index] + delta < 0:
+            raise ValueError(
+                f"count at {index} would become negative "
+                f"({self._values[index]} + {delta})"
+            )
+        self._apply_delta(index, delta)
+
+    def _apply_delta(self, index: int, delta: int) -> None:
         if delta == 0:
             return
-        self._values[index] = value
+        if not 0 <= index < self._size:
+            raise IndexError(f"index {index} out of range (size {self._size})")
+        self._values[index] += delta
         tree = self._tree
         i = index + 1
         while i <= self._size:
@@ -70,14 +117,18 @@ class FenwickTree:
 
     @property
     def total(self) -> int:
-        """Total number of occupied slots."""
+        """Total number of units (= occupied slots under the 0/1 API)."""
         return self.prefix(self._size)
 
     # ------------------------------------------------------------------
     def select(self, k: int) -> int:
         """Position of the ``k``-th (1-based) occupied slot.
 
-        Raises :class:`IndexError` when fewer than ``k`` slots are occupied.
+        Under the weighted API this is the position whose count contains the
+        ``k``-th unit, i.e. the smallest ``p`` with ``prefix(p + 1) >= k`` —
+        exactly the rank→shard lookup the shard directory needs.
+
+        Raises :class:`IndexError` when fewer than ``k`` units are stored.
         """
         if k < 1 or k > self.total:
             raise IndexError(f"select({k}) out of range (total={self.total})")

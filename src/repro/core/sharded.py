@@ -1,0 +1,566 @@
+"""Sharded list labeling: unbounded capacity from fixed-capacity shards.
+
+Every algorithm in :mod:`repro.algorithms` is a fixed-capacity structure —
+``insert`` fails once ``capacity`` elements are stored.  The
+:class:`ShardedLabeler` removes that ceiling by composing many fixed-size
+instances ("shards") behind a rank directory:
+
+* **Directory** — a weighted :class:`repro.core.fenwick.FenwickTree` with
+  one position per shard holding that shard's element count.  A global rank
+  routes to its shard with ``select(rank)`` and localizes with
+  ``rank - prefix(shard)``, both ``O(log K)`` for ``K`` shards.
+* **Shards** — any registered algorithm, built through a
+  ``factory(capacity)`` callable (the ``ALGORITHM_FACTORIES`` signature used
+  throughout the test-suite), each with the same fixed ``shard_capacity``.
+* **Split** — a shard reaching the density ceiling (``split_density ×
+  shard_capacity``) is rewritten into two half-full shards, growing the
+  directory; total capacity therefore grows with the data and no insert is
+  ever refused.
+* **Merge** — a shard underflowing ``merge_density × shard_capacity`` is
+  combined with an adjacent neighbour (re-split evenly when the union would
+  itself exceed the ceiling), so sparse regions do not accumulate
+  near-empty shards.
+
+**Labels.**  Globally, an element's label is composed as
+``(shard_index << shift) | local_label`` where ``shift`` covers the widest
+shard's slot count; shard order follows rank order, so composed labels are
+monotone across shard boundaries (:meth:`ShardedLabeler.labels`).  The flat
+:meth:`slots` view is the concatenation of the shard arrays, which keeps
+:func:`repro.core.validation.check_labeler` applicable unchanged.  A
+structural rewrite moves only the elements of the affected shards — elements
+of later shards change shard *index* (the label's high bits), not physical
+position, which is exactly the economy the directory buys.
+
+**Batches.**  ``insert_batch`` / ``delete_batch`` override the hooks of
+:class:`repro.core.interface.ListLabeler`: a pre-batch-rank batch is
+partitioned through the directory into per-shard sub-batches (the pre-batch
+semantics make the sub-batches independent), each executed as the shard's
+own merged rebalance; a sub-batch that would overflow its shard is instead
+interleaved with the shard's contents and rewritten into evenly-loaded
+fresh shards in one pass.
+
+The cost model stays the paper's: every physical element move — including
+the rewrites performed by splits and merges — is reported through the
+returned :class:`~repro.core.operations.OperationResult` moves, and the
+restructuring traffic is additionally itemized in :attr:`restructure_log`
+(drained by :func:`repro.analysis.runner.run_workload` into the
+:class:`~repro.core.cost.CostTracker`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.core.exceptions import BatchError, LabelerError
+from repro.core.fenwick import FenwickTree
+from repro.core.interface import ListLabeler
+from repro.core.operations import Move, Operation, OperationResult
+
+#: Factory signature of the shard building blocks: ``factory(capacity)``.
+ShardFactory = Callable[[int], ListLabeler]
+
+
+class ShardedLabeler(ListLabeler):
+    """A list labeler of effectively unbounded capacity.
+
+    Parameters
+    ----------
+    shard_factory:
+        Builds one shard from its capacity; any registered algorithm
+        factory works (``lambda cap: ClassicalPMA(cap)``, …).
+    shard_capacity:
+        Fixed capacity of every shard (``≥ 8``).
+    split_density:
+        A shard whose size reaches ``split_density × shard_capacity`` is
+        split before it can refuse an insertion.
+    merge_density:
+        A shard whose size falls below ``merge_density × shard_capacity``
+        is merged with a neighbour.  Must leave ``merge`` strictly below
+        half the split threshold so a merge never immediately re-splits
+        back below the floor.
+    """
+
+    def __init__(
+        self,
+        shard_factory: ShardFactory,
+        *,
+        shard_capacity: int = 64,
+        split_density: float = 0.75,
+        merge_density: float = 0.15,
+    ) -> None:
+        if shard_capacity < 8:
+            raise ValueError("shard_capacity must be at least 8")
+        if not 0.0 < split_density <= 1.0:
+            raise ValueError("split_density must lie in (0, 1]")
+        if merge_density < 0.0:
+            raise ValueError("merge_density must be non-negative")
+        self._shard_capacity = shard_capacity
+        self._split_threshold = max(
+            4, min(int(split_density * shard_capacity), shard_capacity - 1)
+        )
+        self._merge_floor = max(1, int(merge_density * shard_capacity))
+        self._fill_target = self._split_threshold // 2
+        # Every rewrite produces chunks of at least fill_target // 2
+        # elements; the merge floor must not exceed that or freshly
+        # rebuilt shards would immediately count as underflowing.
+        if self._merge_floor > self._fill_target // 2:
+            raise ValueError(
+                f"merge floor ({self._merge_floor}) must stay at or below a "
+                f"quarter of the split threshold ({self._split_threshold})"
+            )
+        self._shard_factory = shard_factory
+        first = shard_factory(shard_capacity)
+        super().__init__(first.capacity, first.num_slots)
+        self._shards: list[ListLabeler] = [first]
+        self._rebuild_directory()
+
+        #: Structural-change counters and per-event move log
+        #: (``(kind, moved)`` pairs, ``kind`` in {"split", "merge"}).
+        self.splits = 0
+        self.merges = 0
+        self.restructure_moves = 0
+        self.restructure_log: list[tuple[str, int]] = []
+
+    # ------------------------------------------------------------------
+    # Geometry and directory
+    # ------------------------------------------------------------------
+    @property
+    def shard_capacity(self) -> int:
+        return self._shard_capacity
+
+    @property
+    def split_threshold(self) -> int:
+        return self._split_threshold
+
+    @property
+    def merge_floor(self) -> int:
+        return self._merge_floor
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> Sequence[ListLabeler]:
+        """Read-only view of the shard list (rank order)."""
+        return tuple(self._shards)
+
+    def shard_sizes(self) -> list[int]:
+        return [len(shard) for shard in self._shards]
+
+    def shard_statistics(self) -> dict[str, float]:
+        """Aggregate per-shard statistics for reports and the runner."""
+        sizes = self.shard_sizes()
+        return {
+            "shards": float(len(sizes)),
+            "splits": float(self.splits),
+            "merges": float(self.merges),
+            "restructure_moves": float(self.restructure_moves),
+            "max_shard_size": float(max(sizes)),
+            "min_shard_size": float(min(sizes)),
+        }
+
+    def _rebuild_directory(self) -> None:
+        """Rebuild the rank directory and the aggregate geometry.
+
+        Called after every structural change; ``O(K)`` via the bulk Fenwick
+        constructor, amortized to ``O(K / shard_capacity)`` per operation by
+        the ``Θ(shard_capacity)`` operations between changes.  Shard slot
+        counts only change here too, so the global slot offsets are cached
+        as a prefix-sum list and every per-operation lookup stays ``O(1)``.
+        """
+        sizes: list[int] = []
+        offsets: list[int] = []
+        capacity = 0
+        num_slots = 0
+        for shard in self._shards:
+            sizes.append(len(shard))
+            offsets.append(num_slots)
+            capacity += shard.capacity
+            num_slots += shard.num_slots
+        self._directory = FenwickTree.from_values(sizes)
+        self._slot_offsets = offsets
+        self._capacity = capacity
+        self._num_slots = num_slots
+
+    def _slot_offset(self, index: int) -> int:
+        """First global slot of shard ``index`` in the concatenated view."""
+        return self._slot_offsets[index]
+
+    def _locate(self, rank: int) -> tuple[int, int]:
+        """Shard index and local rank of the stored element at ``rank``."""
+        index = self._directory.select(rank)
+        return index, rank - self._directory.prefix(index)
+
+    def _locate_insert(self, rank: int) -> tuple[int, int]:
+        """Shard index and local insertion rank for global rank ``rank``."""
+        if self._size == 0 or rank > self._size:
+            index = len(self._shards) - 1
+            return index, rank - self._directory.prefix(index)
+        return self._locate(rank)
+
+    # ------------------------------------------------------------------
+    # Structural changes (split / merge)
+    # ------------------------------------------------------------------
+    def _rewrite_region(
+        self,
+        lo: int,
+        hi: int,
+        chunks: Sequence[Sequence[Hashable]],
+        fresh: frozenset | set = frozenset(),
+    ) -> list[Move]:
+        """Replace shards ``[lo, hi)`` by fresh shards holding ``chunks``.
+
+        ``chunks`` lists the new shards' contents in global rank order and
+        must cover exactly the elements of the replaced shards plus the
+        (new) elements in ``fresh``.  Returns one move per element of the
+        region: a relocation for survivors, a placement for fresh ones.
+        """
+        old_positions: dict[Hashable, int] = {}
+        for j in range(lo, hi):
+            offset = self._slot_offset(j)
+            shard = self._shards[j]
+            for element in shard.elements():
+                old_positions[element] = offset + shard.slot_of(element)
+        replacements: list[ListLabeler] = []
+        for chunk in chunks:
+            shard = self._shard_factory(self._shard_capacity)
+            shard.bulk_load(chunk)
+            replacements.append(shard)
+        self._shards[lo:hi] = replacements
+        self._rebuild_directory()
+        moves: list[Move] = []
+        for position, shard in enumerate(replacements, start=lo):
+            offset = self._slot_offset(position)
+            for element in shard.elements():
+                source = None if element in fresh else old_positions[element]
+                moves.append(Move(element, source, offset + shard.slot_of(element)))
+        return moves
+
+    def _record_restructure(self, kind: str, moves: Sequence[Move]) -> None:
+        moved = sum(1 for move in moves if move.cost > 0)
+        self.restructure_log.append((kind, moved))
+        self.restructure_moves += moved
+        if kind == "split":
+            self.splits += 1
+        else:
+            self.merges += 1
+
+    def _even_chunks(self, contents: Sequence[Hashable]) -> list[list[Hashable]]:
+        """Partition ``contents`` into evenly-loaded shard-sized chunks."""
+        total = len(contents)
+        count = max(1, math.ceil(total / self._fill_target))
+        base, extra = divmod(total, count)
+        chunks: list[list[Hashable]] = []
+        start = 0
+        for j in range(count):
+            size = base + (1 if j < extra else 0)
+            chunks.append(list(contents[start : start + size]))
+            start += size
+        return chunks
+
+    def _split_shard(self, index: int) -> list[Move]:
+        """Split shard ``index`` into two half-full shards."""
+        elements = self._shards[index].elements()
+        half = len(elements) // 2
+        moves = self._rewrite_region(
+            index, index + 1, [elements[:half], elements[half:]]
+        )
+        self._record_restructure("split", moves)
+        return moves
+
+    def _merge_step(self, index: int) -> list[Move]:
+        """Merge shard ``index`` with its smaller adjacent neighbour.
+
+        When the union would exceed the split threshold the combined
+        contents are instead re-split evenly (a borrow), which still lifts
+        the underflowing shard back above the floor.
+        """
+        if index > 0 and (
+            index + 1 >= len(self._shards)
+            or len(self._shards[index - 1]) <= len(self._shards[index + 1])
+        ):
+            lo, hi = index - 1, index + 1
+        else:
+            lo, hi = index, index + 2
+        combined = self._shards[lo].elements() + self._shards[lo + 1].elements()
+        if len(combined) > self._split_threshold:
+            half = len(combined) // 2
+            chunks = [combined[:half], combined[half:]]
+        else:
+            chunks = [combined]
+        moves = self._rewrite_region(lo, hi, chunks)
+        self._record_restructure("merge", moves)
+        return moves
+
+    def _rebalance_underflows(self) -> list[Move]:
+        """Merge every underflowing shard, cascading until the policy holds."""
+        moves: list[Move] = []
+        index = 0
+        while index < len(self._shards):
+            if (
+                len(self._shards) > 1
+                and len(self._shards[index]) < self._merge_floor
+            ):
+                moves.extend(self._merge_step(index))
+                index = max(index - 1, 0)
+            else:
+                index += 1
+        return moves
+
+    # ------------------------------------------------------------------
+    # Singleton operations
+    # ------------------------------------------------------------------
+    def _lift_moves(self, moves: Iterable[Move], offset: int) -> list[Move]:
+        """Translate shard-local move coordinates into the global view."""
+        return [
+            Move(
+                move.element,
+                None if move.source is None else move.source + offset,
+                None if move.destination is None else move.destination + offset,
+            )
+            for move in moves
+        ]
+
+    def _insert(self, rank: int, element: Hashable) -> OperationResult:
+        result = OperationResult(Operation.insert(rank))
+        index, local = self._locate_insert(rank)
+        shard = self._shards[index]
+        if len(shard) >= self._split_threshold or shard.is_full:
+            result.extend(self._split_shard(index))
+            index, local = self._locate_insert(rank)
+            shard = self._shards[index]
+        inner = shard.insert(local, element)
+        self._directory.add(index, 1)
+        result.extend(self._lift_moves(inner.moves, self._slot_offset(index)))
+        return result
+
+    def _delete(self, rank: int) -> OperationResult:
+        result = OperationResult(Operation.delete(rank))
+        index, local = self._locate(rank)
+        shard = self._shards[index]
+        inner = shard.delete(local)
+        self._directory.add(index, -1)
+        result.extend(self._lift_moves(inner.moves, self._slot_offset(index)))
+        if len(self._shards) > 1 and len(shard) < self._merge_floor:
+            result.extend(self._rebalance_underflows())
+        return result
+
+    # ------------------------------------------------------------------
+    # Batched operations: per-shard sub-batches, merged rebalances
+    # ------------------------------------------------------------------
+    def _prepare_insert_batch(
+        self, items: Sequence[tuple[int, Hashable]]
+    ) -> list[tuple[int, Hashable]]:
+        """Validate ranks and sort stably — capacity grows on demand."""
+        prepared = [(rank, element) for rank, element in items]
+        for rank, _ in prepared:
+            if not 1 <= rank <= self._size + 1:
+                raise BatchError(
+                    f"insert_batch rank {rank} out of range for a structure "
+                    f"holding {self._size} element(s)"
+                )
+        prepared.sort(key=lambda item: item[0])
+        return prepared
+
+    def _insert_batch(
+        self, prepared: Sequence[tuple[int, Hashable]]
+    ) -> list[OperationResult]:
+        groups: dict[int, list[tuple[int, Hashable]]] = {}
+        for rank, element in prepared:
+            index, local = self._locate_insert(rank)
+            groups.setdefault(index, []).append((local, element))
+        results: list[OperationResult] = []
+        # Descending shard order: a rewrite replaces one shard by several,
+        # which would shift the indices of every group after it.
+        for index in sorted(groups, reverse=True):
+            sub = groups[index]
+            shard = self._shards[index]
+            if len(shard) + len(sub) > self._split_threshold:
+                results.append(self._absorb_overflowing_batch(index, sub))
+            else:
+                inner = shard.insert_batch(sub)
+                self._directory.add(index, len(sub))
+                offset = self._slot_offset(index)
+                for item in inner.results:
+                    lifted = OperationResult(item.operation)
+                    lifted.extend(self._lift_moves(item.moves, offset))
+                    results.append(lifted)
+        self._size += len(prepared)
+        return results
+
+    def _absorb_overflowing_batch(
+        self, index: int, sub: Sequence[tuple[int, Hashable]]
+    ) -> OperationResult:
+        """Interleave ``sub`` with shard ``index`` and rewrite evenly.
+
+        The per-shard analogue of the dense merged rebalance: a sub-batch
+        item of local pre-batch rank ``r`` goes immediately before the
+        shard element holding rank ``r``, and the union is laid out into
+        ``ceil(total / fill_target)`` fresh half-full shards in one pass.
+        """
+        window = self._shards[index].elements()
+        contents: list[Hashable] = []
+        fresh: set = set()
+        consumed = 0
+        for local, element in sub:
+            while consumed < local - 1:
+                contents.append(window[consumed])
+                consumed += 1
+            fresh.add(element)
+            contents.append(element)
+        contents.extend(window[consumed:])
+        result = OperationResult(Operation.insert(sub[0][0]))
+        moves = self._rewrite_region(
+            index, index + 1, self._even_chunks(contents), fresh=fresh
+        )
+        self._record_restructure("split", moves)
+        result.extend(moves)
+        return result
+
+    def _delete_batch(self, prepared: Sequence[int]) -> list[OperationResult]:
+        groups: dict[int, list[int]] = {}
+        for rank in prepared:  # descending, so per-shard locals stay sorted
+            index, local = self._locate(rank)
+            groups.setdefault(index, []).append(local)
+        results: list[OperationResult] = []
+        for index in sorted(groups, reverse=True):
+            shard = self._shards[index]
+            inner = shard.delete_batch(groups[index])
+            self._directory.add(index, -len(groups[index]))
+            offset = self._slot_offset(index)
+            for item in inner.results:
+                lifted = OperationResult(item.operation)
+                lifted.extend(self._lift_moves(item.moves, offset))
+                results.append(lifted)
+        self._size -= len(prepared)
+        rebalance = self._rebalance_underflows()
+        if rebalance:
+            trailer = OperationResult(Operation.delete(prepared[-1]))
+            trailer.extend(rebalance)
+            results.append(trailer)
+        return results
+
+    # ------------------------------------------------------------------
+    # Bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load(self, elements: Sequence[Hashable]) -> int:
+        """Load sorted ``elements`` into evenly-filled fresh shards."""
+        elements = list(elements)
+        if self._size:
+            raise LabelerError("bulk_load requires an empty structure")
+        replacements: list[ListLabeler] = []
+        total = 0
+        for chunk in self._even_chunks(elements):
+            shard = self._shard_factory(self._shard_capacity)
+            total += shard.bulk_load(chunk)
+            replacements.append(shard)
+        self._shards = replacements
+        self._rebuild_directory()
+        self._size = len(elements)
+        return total
+
+    # ------------------------------------------------------------------
+    # Physical views
+    # ------------------------------------------------------------------
+    def slots(self) -> Sequence[Hashable | None]:
+        flat: list[Hashable | None] = []
+        for shard in self._shards:
+            flat.extend(shard.slots())
+        return tuple(flat)
+
+    def elements(self) -> list[Hashable]:
+        out: list[Hashable] = []
+        for shard in self._shards:
+            out.extend(shard.elements())
+        return out
+
+    def slot_of(self, element: Hashable) -> int:
+        """Global slot in the concatenated view (``O(K)`` shard probes)."""
+        offset = 0
+        for shard in self._shards:
+            try:
+                return offset + shard.slot_of(element)
+            except KeyError:
+                offset += shard.num_slots
+        raise KeyError(f"element {element!r} is not stored")
+
+    def rank_of(self, element: Hashable) -> int:
+        """1-based global rank (``O(K)`` probes + one indexed shard query)."""
+        below = 0
+        for shard in self._shards:
+            try:
+                return below + shard.rank_of(element)
+            except KeyError:
+                below += len(shard)
+        raise KeyError(f"element {element!r} is not stored")
+
+    @property
+    def label_shift(self) -> int:
+        """Bits reserved for the local label in a composed global label."""
+        return max(shard.num_slots for shard in self._shards).bit_length()
+
+    def labels(self) -> dict[Hashable, int]:
+        """Composed labels ``(shard_index << shift) | local_label``.
+
+        Shard order follows rank order and local labels are monotone inside
+        each shard, so composed labels are monotone in rank globally — the
+        list-labeling contract — while a structural rewrite renumbers only
+        the affected shards' elements (plus the high bits of later shards).
+        """
+        shift = self.label_shift
+        composed: dict[Hashable, int] = {}
+        for index, shard in enumerate(self._shards):
+            for element, local in shard.labels().items():
+                composed[element] = (index << shift) | local
+        return composed
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def check_consistency(self, key=None) -> None:
+        """Check every structural invariant of the sharding engine.
+
+        Verifies the directory against the true shard sizes, the aggregate
+        geometry, the density policy (no shard above the split ceiling,
+        none below the merge floor unless it is the only shard), and
+        recursively the shards' own consistency where they expose it.
+        """
+        from repro.core.exceptions import InvariantViolation
+
+        total = 0
+        for index, shard in enumerate(self._shards):
+            if self._directory.value(index) != len(shard):
+                raise InvariantViolation(
+                    f"directory records {self._directory.value(index)} elements "
+                    f"for shard {index} which holds {len(shard)}"
+                )
+            if len(shard) > self._split_threshold:
+                raise InvariantViolation(
+                    f"shard {index} holds {len(shard)} elements, above the "
+                    f"split threshold {self._split_threshold}"
+                )
+            if len(self._shards) > 1 and len(shard) < self._merge_floor:
+                raise InvariantViolation(
+                    f"shard {index} holds {len(shard)} elements, below the "
+                    f"merge floor {self._merge_floor}"
+                )
+            total += len(shard)
+            inner_check = getattr(shard, "check_consistency", None)
+            if callable(inner_check):
+                inner_check(key=key)
+        if total != self._size:
+            raise InvariantViolation(
+                f"shard sizes sum to {total} but the engine reports {self._size}"
+            )
+        if self._capacity != sum(shard.capacity for shard in self._shards):
+            raise InvariantViolation("aggregate capacity drifted")
+        if self._num_slots != sum(shard.num_slots for shard in self._shards):
+            raise InvariantViolation("aggregate slot count drifted")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"{type(self).__name__}(shards={len(self._shards)}, "
+            f"shard_capacity={self._shard_capacity}, size={self._size})"
+        )

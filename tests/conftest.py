@@ -17,7 +17,7 @@ from repro.algorithms import (
     RandomizedPMA,
     SparseNaiveLabeler,
 )
-from repro.core import Embedding
+from repro.core import Embedding, ShardedLabeler
 from repro.core.layered import make_corollary11_labeler
 from repro.core.validation import check_labeler
 
@@ -54,6 +54,11 @@ COMPOSITE_FACTORIES = {
         reliable_expected_cost=32,
     ),
     "corollary11": lambda capacity: make_corollary11_labeler(capacity, seed=7),
+    # The sharding engine is unbounded; ``capacity`` only sizes its shards
+    # so that runs at the suite's usual sizes cross shard boundaries.
+    "sharded(classical)": lambda capacity: ShardedLabeler(
+        lambda cap: ClassicalPMA(cap), shard_capacity=max(16, capacity // 8)
+    ),
 }
 
 

@@ -43,6 +43,21 @@ class TestRunner:
         result = run_workload(ClassicalPMA(32), workload)
         assert sorted(result.final_keys) == workload.keys
 
+    def test_sharded_summary_stats_are_run_scoped(self):
+        from repro.core import ShardedLabeler
+
+        labeler = ShardedLabeler(lambda cap: ClassicalPMA(cap), shard_capacity=16)
+        first = run_workload(labeler, SequentialWorkload(200))
+        assert first.summary()["splits"] >= 3
+        assert first.summary()["restructure_moves"] > 0
+        assert first.summary()["shards"] == labeler.shard_count
+        # A reused labeler must not leak the first run's splits/moves into
+        # the second run's summary.
+        second = run_workload(labeler, SequentialWorkload(1))
+        summary = second.summary()
+        assert "splits" not in summary and "restructure_moves" not in summary
+        assert summary["shards"] == labeler.shard_count
+
 
 class TestCurves:
     def test_exponent_of_synthetic_log_squared(self):

@@ -8,6 +8,7 @@ import pytest
 
 from repro.algorithms import ClassicalPMA
 from repro.applications import OrderMaintenance, PackedMemoryMap
+from repro.core import ShardedLabeler
 
 
 def classical_factory(capacity: int) -> ClassicalPMA:
@@ -70,6 +71,74 @@ class TestPackedMemoryMap:
             index[key] = key
         assert index.keys() == list(range(40))
         index.check()
+
+
+class TestUnboundedPackedMemoryMap:
+    """``capacity=None`` puts the map on the sharding engine — no ceiling."""
+
+    def test_grows_past_any_single_shard(self):
+        index = PackedMemoryMap(labeler_factory=classical_factory, shard_capacity=32)
+        assert isinstance(index.labeler, ShardedLabeler)
+        total = 10 * 32
+        for key in range(total):
+            index[key] = key * 2
+        assert len(index) == total
+        assert index.labeler.splits >= 3
+        assert index.keys() == list(range(total))
+        assert index[191] == 382
+        index.check()
+
+    def test_update_many_batches_new_keys(self):
+        index = PackedMemoryMap(labeler_factory=classical_factory, shard_capacity=32)
+        inserted = index.update_many((key, key) for key in range(0, 400, 2))
+        assert inserted == 200
+        # Mixed batch: 100 overwrites (multiples of 4) + 100 fresh odd keys.
+        inserted = index.update_many(
+            [(key, -key) for key in range(0, 200, 4)]
+            + [(key, -key) for key in range(1, 200, 2)]
+        )
+        assert inserted == 100
+        assert len(index) == 300
+        assert index[4] == -4 and index[3] == -3 and index[6] == 6
+        assert index.keys() == sorted(index.keys())
+        assert index.costs.batches >= 2
+        index.check()
+
+    def test_update_many_is_all_or_nothing(self):
+        # A rejected batch (bounded map over capacity) must leave the map
+        # untouched — overwrites of existing keys included.
+        from repro.core.exceptions import BatchError
+
+        index = PackedMemoryMap(100, classical_factory)
+        for key in range(90):
+            index[key] = key
+        with pytest.raises(BatchError):
+            index.update_many(
+                [(key, -key) for key in range(50)]
+                + [(key, key) for key in range(100, 120)]
+            )
+        assert len(index) == 90
+        assert index[10] == 10
+        index.check()
+
+    def test_unbounded_deletion_merges_shards(self):
+        index = PackedMemoryMap(labeler_factory=classical_factory, shard_capacity=32)
+        for key in range(300):
+            index[key] = key
+        for key in range(10, 300):
+            del index[key]
+        assert len(index) == 10
+        assert index.labeler.merges >= 1
+        assert index.keys() == list(range(10))
+        index.check()
+
+    def test_range_scan_spans_shards(self):
+        index = PackedMemoryMap(labeler_factory=classical_factory, shard_capacity=32)
+        index.update_many((key, str(key)) for key in range(250))
+        window = list(index.range(90, 110))
+        assert window == [(key, str(key)) for key in range(90, 111)]
+        assert index.predecessor(90) == 89
+        assert index.successor(110) == 111
 
 
 class TestOrderMaintenance:

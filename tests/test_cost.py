@@ -102,3 +102,42 @@ class TestSummary:
         tracker.record_many([1, 2, 3])
         summary = tracker.summary()
         assert set(summary) == {"operations", "total_cost", "amortized", "worst_case", "p50", "p99"}
+
+
+class TestRestructureStatistics:
+    def test_restructures_are_a_breakdown_not_extra_cost(self):
+        tracker = CostTracker()
+        tracker.record_many([2, 30, 2])
+        tracker.record_restructure("split", 28)
+        tracker.record_restructure("split", 12)
+        tracker.record_restructure("merge", 7)
+        assert tracker.total_cost == 34  # unchanged by the breakdown
+        assert tracker.restructures == 3
+        assert tracker.restructure_moves == 47
+        stats = tracker.structure_statistics()
+        assert stats == {
+            "merges": 1.0,
+            "merge_moves": 7.0,
+            "splits": 2.0,
+            "split_moves": 40.0,
+        }
+        assert set(stats) < set(tracker.summary())
+
+    def test_negative_moves_rejected(self):
+        tracker = CostTracker()
+        with pytest.raises(ValueError):
+            tracker.record_restructure("split", -1)
+
+    def test_merge_preserves_restructures(self):
+        left = CostTracker()
+        left.record(1)
+        left.record_restructure("split", 5)
+        right = CostTracker()
+        right.record_restructure("split", 3)
+        right.record_restructure("merge", 2)
+        merged = left.merge(right)
+        assert merged.restructures == 3
+        assert merged.structure_statistics()["split_moves"] == 8.0
+
+    def test_empty_structure_statistics(self):
+        assert CostTracker().structure_statistics() == {}

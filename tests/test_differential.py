@@ -7,6 +7,14 @@ reference model.  After every step group the structure must hold exactly
 the reference's elements in the same order, report the right size, and
 pass the full physical-state validation of
 :func:`repro.core.validation.check_labeler`.
+
+The sharded engine gets its own long-haul harness
+(:class:`TestShardedDifferential`): :class:`repro.core.ShardedLabeler` over
+*every* registered algorithm factory as the shard building block, driven in
+lockstep with a :class:`repro.analysis.reference.ChunkedList` ground truth
+through ≥ 10k mixed operations per (factory, mode) pair — a growth phase
+that forces several shard splits, a churn phase, and a shrink phase that
+forces merges — in both singleton and batched execution.
 """
 
 from __future__ import annotations
@@ -16,6 +24,8 @@ from fractions import Fraction
 
 import pytest
 
+from repro.analysis.reference import ChunkedList
+from repro.core import ShardedLabeler
 from repro.core.validation import check_labeler
 from tests.conftest import ALGORITHM_FACTORIES, COMPOSITE_FACTORIES
 
@@ -114,3 +124,104 @@ def test_composite_structures_match_reference(name, use_batches):
         steps=40,
         use_batches=use_batches,
     )
+
+
+# ----------------------------------------------------------------------
+# Sharded engine: long-haul parity over every shard algorithm
+# ----------------------------------------------------------------------
+
+SHARD_CAPACITY = 24
+
+
+def _insert_probability(executed: int, total_ops: int, size: int) -> float:
+    """Grow → churn → shrink schedule keeping the size in a useful band.
+
+    The growth phase carries the structure well past a dozen shard
+    capacities (forcing several splits), churn mixes inserts and deletes at
+    scale, and the shrink phase drains to a tenth of the peak so shards
+    underflow and merge.
+    """
+    if executed < total_ops * 2 // 5:
+        return 0.92 if size < 450 else 0.5
+    if executed < total_ops * 7 // 10:
+        return 0.5
+    return 0.15 if size > 40 else 0.6
+
+
+def _sharded_mixed_ops(labeler, *, seed, total_ops, check_every):
+    """Drive ``labeler`` and a ChunkedList in lockstep; return the reference."""
+    rng = random.Random(seed)
+    reference = ChunkedList(block_size=24)
+    for executed in range(total_ops):
+        size = len(reference)
+        insert_p = _insert_probability(executed, total_ops, size)
+        if size and rng.random() >= insert_p:
+            rank = rng.randint(1, size)
+            labeler.delete(rank)
+            reference.pop(rank - 1)
+        else:
+            rank = rng.randint(1, size + 1)
+            key = _key_between(reference, rank)
+            labeler.insert(rank, key)
+            reference.insert(rank - 1, key)
+        if (executed + 1) % check_every == 0:
+            _check(labeler, reference.to_list())
+    return reference
+
+
+def _sharded_mixed_batches(labeler, *, seed, total_ops, check_every):
+    """Batched twin of :func:`_sharded_mixed_ops` (pre-batch rank batches)."""
+    rng = random.Random(seed)
+    reference = ChunkedList(block_size=24)
+    executed = 0
+    next_check = check_every
+    while executed < total_ops:
+        size = len(reference)
+        insert_p = _insert_probability(executed, total_ops, size)
+        if size and rng.random() >= insert_p:
+            count = rng.randint(1, min(32, size))
+            ranks = rng.sample(range(1, size + 1), count)
+            labeler.delete_batch(ranks)
+            for rank in sorted(ranks, reverse=True):
+                reference.pop(rank - 1)
+            executed += count
+        else:
+            count = rng.randint(1, 32)
+            items, _ = _random_insert_batch(
+                rng, reference.to_list(), room=count, max_batch=count
+            )
+            result = labeler.insert_batch(items)
+            assert result.count == len(items)
+            for offset, (rank, key) in enumerate(items):  # items rank-sorted
+                reference.insert(rank + offset - 1, key)
+            executed += len(items)
+        if executed >= next_check:
+            _check(labeler, reference.to_list())
+            next_check += check_every
+    return reference
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHM_FACTORIES))
+def test_sharded_over_every_algorithm_singleton(name):
+    labeler = ShardedLabeler(
+        ALGORITHM_FACTORIES[name], shard_capacity=SHARD_CAPACITY
+    )
+    reference = _sharded_mixed_ops(
+        labeler, seed=11, total_ops=10_000, check_every=1_000
+    )
+    _check(labeler, reference.to_list())
+    assert labeler.splits >= 3, "the run must cross several shard splits"
+    assert labeler.merges >= 1, "the shrink phase must force a merge"
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHM_FACTORIES))
+def test_sharded_over_every_algorithm_batched(name):
+    labeler = ShardedLabeler(
+        ALGORITHM_FACTORIES[name], shard_capacity=SHARD_CAPACITY
+    )
+    reference = _sharded_mixed_batches(
+        labeler, seed=13, total_ops=10_000, check_every=1_000
+    )
+    _check(labeler, reference.to_list())
+    assert labeler.splits >= 3
+    assert labeler.merges >= 1

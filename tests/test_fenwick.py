@@ -103,3 +103,106 @@ class TestAgainstReference:
         occupied = [i for i, bit in enumerate(reference) if bit]
         for k, index in enumerate(occupied, start=1):
             assert tree.select(k) == index
+        for rank, index in enumerate(occupied, start=1):
+            assert tree.rank_of(index) == rank
+        for index, bit in enumerate(reference):
+            assert tree.value(index) == bit
+            if not bit:
+                with pytest.raises(ValueError):
+                    tree.rank_of(index)
+
+
+class TestEdges:
+    def test_empty_tree_of_size_zero(self):
+        tree = FenwickTree(0)
+        assert tree.size == 0
+        assert tree.total == 0
+        assert tree.prefix(0) == 0
+        assert tree.count(0, 0) == 0
+        with pytest.raises(IndexError):
+            tree.select(1)
+
+    def test_single_slot_tree(self):
+        tree = FenwickTree(1)
+        with pytest.raises(IndexError):
+            tree.select(1)
+        tree.set(0, 1)
+        assert tree.select(1) == 0
+        assert tree.rank_of(0) == 1
+        assert tree.prefix(1) == 1
+        tree.set(0, 0)
+        assert tree.total == 0
+        with pytest.raises(ValueError):
+            tree.rank_of(0)
+
+    def test_out_of_range_updates_rejected(self):
+        tree = FenwickTree(4)
+        with pytest.raises(IndexError):
+            tree.set(4, 1)
+        with pytest.raises(IndexError):
+            tree.add(7, 3)
+
+
+class TestWeightedAgainstReference:
+    """The ``add`` API used by the shard directory, vs. a naive count list."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        size=st.integers(min_value=1, max_value=32),
+        updates=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=31),
+                st.integers(min_value=-4, max_value=16),
+            ),
+            max_size=60,
+        ),
+    )
+    def test_matches_naive_count_vector(self, size, updates):
+        tree = FenwickTree(size)
+        reference = [0] * size
+        for index, delta in updates:
+            if index >= size:
+                continue
+            if reference[index] + delta < 0:
+                with pytest.raises(ValueError):
+                    tree.add(index, delta)
+                continue
+            tree.add(index, delta)
+            reference[index] += delta
+        assert tree.total == sum(reference)
+        for end in range(size + 1):
+            assert tree.prefix(end) == sum(reference[:end])
+        for index, count in enumerate(reference):
+            assert tree.value(index) == count
+        # select(k) finds the position holding the k-th unit — the shard
+        # directory's rank→shard routing primitive.
+        unit_positions = [
+            index for index, count in enumerate(reference) for _ in range(count)
+        ]
+        for k, index in enumerate(unit_positions, start=1):
+            assert tree.select(k) == index
+        with pytest.raises(IndexError):
+            tree.select(sum(reference) + 1)
+
+    def test_negative_counts_rejected(self):
+        tree = FenwickTree(3)
+        tree.add(1, 5)
+        with pytest.raises(ValueError):
+            tree.add(1, -6)
+        assert tree.value(1) == 5
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=st.lists(st.integers(min_value=0, max_value=12), max_size=40))
+    def test_bulk_constructor_matches_incremental(self, values):
+        bulk = FenwickTree.from_values(values)
+        incremental = FenwickTree(len(values))
+        for index, value in enumerate(values):
+            incremental.add(index, value)
+        assert bulk._tree == incremental._tree
+        assert bulk.total == sum(values)
+        for end in range(len(values) + 1):
+            assert bulk.prefix(end) == sum(values[:end])
+
+    def test_bulk_constructor_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FenwickTree.from_values([1, -1])

@@ -5,7 +5,11 @@ from __future__ import annotations
 from repro.analysis import run_workload
 from repro.algorithms import AdaptivePMA, ClassicalPMA, NaiveLabeler
 from repro.core import Embedding, make_corollary11_labeler, make_corollary12_labeler
-from repro.core.layered import LayeredLabeler, embedding_factory
+from repro.core.layered import (
+    LayeredLabeler,
+    corollary11_worst_case_bound,
+    embedding_factory,
+)
 from repro.workloads import HammerWorkload, PredictedWorkload, RandomWorkload
 
 from tests.conftest import ReferenceDriver
@@ -56,8 +60,33 @@ class TestCorollary11:
         # Expected-cost bound: far cheaper than the naive baseline.
         assert layered_random.amortized_cost < naive_random.amortized_cost / 4
         # Worst-case bound: no Θ(n) spike on either workload.
-        assert layered_hammer.worst_case_cost < n / 2
-        assert layered_random.worst_case_cost < n / 2
+        assert layered_hammer.worst_case_cost < corollary11_worst_case_bound(n)
+        assert layered_random.worst_case_cost < corollary11_worst_case_bound(n)
+
+    def test_worst_case_envelope_regression(self):
+        """Regression for the bench_corollary11 bound repair.
+
+        The envelope is the structure's own constants (6·E_Z + 2·E_Y with a
+        4/3 margin), so it must (a) hold empirically across seeds at a size
+        small enough to run quickly, and (b) grow polylogarithmically — by
+        n = 1024 (the benchmark size) it must already sit below n, and the
+        bound-to-n ratio must shrink as n doubles.
+        """
+        n = 256
+        bound = corollary11_worst_case_bound(n)
+        for seed in (1, 5, 9):
+            hammer = run_workload(
+                make_corollary11_labeler(n, seed=seed), HammerWorkload(n, seed=seed)
+            )
+            assert hammer.worst_case_cost < bound
+        # Θ(log² n) shape: the envelope falls away from n as n grows.
+        ratios = [
+            corollary11_worst_case_bound(size) / size
+            for size in (1024, 4096, 16384, 65536)
+        ]
+        assert corollary11_worst_case_bound(1024) < 1024
+        assert ratios == sorted(ratios, reverse=True)
+        assert ratios[-1] < 0.05
 
 
 class TestCorollary12:

@@ -1,0 +1,255 @@
+"""Unit tests for the sharded unbounded-capacity labeling engine."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algorithms import ClassicalPMA, NaiveLabeler, make_sharded_labeler
+from repro.core import ShardedLabeler
+from repro.core.exceptions import BatchError, RankError
+from repro.core.validation import check_labeler, check_moves_consistent
+
+
+def classical_factory(capacity):
+    return ClassicalPMA(capacity)
+
+
+def make(shard_capacity=16, **kwargs):
+    return ShardedLabeler(classical_factory, shard_capacity=shard_capacity, **kwargs)
+
+
+class TestConstruction:
+    def test_shard_capacity_floor(self):
+        with pytest.raises(ValueError):
+            ShardedLabeler(classical_factory, shard_capacity=4)
+
+    def test_split_density_bounds(self):
+        with pytest.raises(ValueError):
+            make(split_density=0.0)
+        with pytest.raises(ValueError):
+            make(split_density=1.5)
+
+    def test_merge_floor_must_stay_below_half_threshold(self):
+        with pytest.raises(ValueError):
+            make(shard_capacity=16, split_density=0.5, merge_density=0.45)
+
+    def test_default_factory_helper(self):
+        labeler = make_sharded_labeler(shard_capacity=16)
+        labeler.insert(1, Fraction(1))
+        assert labeler.elements() == [Fraction(1)]
+        assert isinstance(labeler.shards[0], ClassicalPMA)
+
+    def test_starts_with_one_empty_shard(self):
+        labeler = make()
+        assert labeler.shard_count == 1
+        assert labeler.is_empty
+        assert labeler.num_slots == labeler.shards[0].num_slots
+
+
+class TestUnboundedGrowth:
+    def test_grows_far_past_one_shard_capacity(self):
+        labeler = make(shard_capacity=16)
+        total = 20 * 16
+        for index in range(total):
+            labeler.insert(index + 1, index)
+        assert labeler.size == total
+        assert labeler.elements() == list(range(total))
+        assert labeler.splits >= 3
+        assert labeler.capacity > total  # always headroom, never full
+        assert not labeler.is_full
+        check_labeler(labeler, expected=list(range(total)))
+
+    def test_every_shard_respects_the_density_ceiling(self):
+        labeler = make(shard_capacity=16)
+        for index in range(300):
+            labeler.insert(1, 300 - index)  # adversarial front inserts
+        assert max(labeler.shard_sizes()) <= labeler.split_threshold
+        check_labeler(labeler, expected=list(range(1, 301)))
+
+    def test_rank_validation_still_applies(self):
+        labeler = make()
+        with pytest.raises(RankError):
+            labeler.insert(2, "x")
+        with pytest.raises(RankError):
+            labeler.delete(1)
+
+
+class TestMergePolicy:
+    def drained(self, shard_capacity=16):
+        labeler = make(shard_capacity=shard_capacity)
+        labeler.bulk_load(list(range(12 * shard_capacity)))
+        while labeler.size > shard_capacity // 2:
+            labeler.delete(1 + (labeler.size // 3))
+        return labeler
+
+    def test_deletions_merge_underflowing_shards(self):
+        labeler = self.drained()
+        assert labeler.merges >= 1
+        assert labeler.shard_count < 12
+        if labeler.shard_count > 1:
+            assert min(labeler.shard_sizes()) >= labeler.merge_floor
+        check_labeler(labeler)
+
+    def test_drain_to_empty_leaves_one_shard(self):
+        labeler = make()
+        for index in range(60):
+            labeler.insert(index + 1, index)
+        while labeler.size:
+            labeler.delete(labeler.size)
+        assert labeler.shard_count == 1
+        assert labeler.is_empty
+        check_labeler(labeler, expected=[])
+
+
+class TestRoutingAndLabels:
+    def filled(self):
+        labeler = make(shard_capacity=16)
+        for index in range(200):
+            labeler.insert(index + 1, index * 10)
+        return labeler
+
+    def test_rank_and_slot_lookups(self):
+        labeler = self.filled()
+        slots = labeler.slots()
+        for rank, element in enumerate(labeler.elements(), start=1):
+            assert labeler.rank_of(element) == rank
+            assert slots[labeler.slot_of(element)] == element
+        with pytest.raises(KeyError):
+            labeler.slot_of("missing")
+        with pytest.raises(KeyError):
+            labeler.rank_of("missing")
+
+    def test_composed_labels_are_monotone_and_recoverable(self):
+        labeler = self.filled()
+        labels = labeler.labels()
+        shift = labeler.label_shift
+        ordered = [labels[element] for element in labeler.elements()]
+        assert ordered == sorted(ordered)
+        assert len(set(ordered)) == len(ordered)
+        # High bits name the shard, low bits the local slot.
+        for index, shard in enumerate(labeler.shards):
+            for element, local in shard.labels().items():
+                assert labels[element] == (index << shift) | local
+
+    def test_slots_view_is_the_shard_concatenation(self):
+        labeler = self.filled()
+        flat = []
+        for shard in labeler.shards:
+            flat.extend(shard.slots())
+        assert list(labeler.slots()) == flat
+        assert labeler.num_slots == len(flat)
+
+
+class TestMoveAccounting:
+    def test_split_moves_are_reported(self):
+        labeler = make(shard_capacity=16)
+        for index in range(labeler.split_threshold):
+            labeler.insert(index + 1, index)
+        before = list(labeler.slots())
+        result = labeler.insert(1, -1)  # forces the split
+        after = list(labeler.slots())
+        assert labeler.splits == 1
+        check_moves_consistent(before, after, result.moved_elements())
+        assert result.cost >= labeler.split_threshold  # whole shard rewritten
+
+    def test_restructure_log_matches_counters(self):
+        labeler = make(shard_capacity=16)
+        for index in range(200):
+            labeler.insert(index + 1, index)
+        while labeler.size > 20:
+            labeler.delete(1)
+        kinds = {kind for kind, _ in labeler.restructure_log}
+        assert kinds <= {"split", "merge"}
+        assert len(labeler.restructure_log) == labeler.splits + labeler.merges
+        assert labeler.restructure_moves == sum(
+            moved for _, moved in labeler.restructure_log
+        )
+        stats = labeler.shard_statistics()
+        assert stats["splits"] == labeler.splits
+        assert stats["merges"] == labeler.merges
+
+
+class TestBatches:
+    def test_cross_shard_insert_batch_matches_loop_semantics(self):
+        batched = make(shard_capacity=16)
+        looped = make(shard_capacity=16)
+        base = [Fraction(i) for i in range(100)]
+        batched.bulk_load(base)
+        looped.bulk_load(base)
+        items = [
+            (1, Fraction(-2)),
+            (1, Fraction(-1)),
+            (40, Fraction(77, 2)),
+            (80, Fraction(157, 2)),
+            (101, Fraction(1000)),
+        ]
+        batched.insert_batch(items)
+        for offset, (rank, element) in enumerate(items):
+            looped.insert(rank + offset, element)
+        assert batched.elements() == looped.elements()
+        check_labeler(batched, expected=looped.elements())
+
+    def test_large_batch_overflows_into_fresh_shards(self):
+        labeler = make(shard_capacity=16)
+        result = labeler.insert_batch([(1, index) for index in range(200)])
+        assert result.count == 200
+        assert labeler.elements() == list(range(200))
+        assert labeler.shard_count > 1
+        assert max(labeler.shard_sizes()) <= labeler.split_threshold
+
+    def test_insert_batch_rejects_bad_rank_before_mutating(self):
+        labeler = make()
+        labeler.insert(1, 0)
+        with pytest.raises(BatchError):
+            labeler.insert_batch([(1, 1), (5, 2)])
+        assert labeler.elements() == [0]
+
+    def test_delete_batch_across_shards(self):
+        labeler = make(shard_capacity=16)
+        labeler.bulk_load(list(range(120)))
+        ranks = list(range(1, 121, 2))  # every odd pre-batch rank
+        labeler.delete_batch(ranks)
+        assert labeler.elements() == list(range(1, 120, 2))
+        check_labeler(labeler)
+
+    def test_delete_batch_rejects_duplicates(self):
+        labeler = make()
+        labeler.insert(1, 0)
+        labeler.insert(2, 1)
+        with pytest.raises(BatchError):
+            labeler.delete_batch([1, 1])
+        assert labeler.size == 2
+
+
+class TestBulkLoad:
+    def test_bulk_load_spreads_evenly(self):
+        labeler = make(shard_capacity=16)
+        labeler.bulk_load(list(range(100)))
+        sizes = labeler.shard_sizes()
+        assert labeler.elements() == list(range(100))
+        assert max(sizes) - min(sizes) <= 1
+        assert max(sizes) <= labeler.split_threshold
+        check_labeler(labeler, expected=list(range(100)))
+
+    def test_bulk_load_requires_empty(self):
+        labeler = make()
+        labeler.insert(1, 0)
+        with pytest.raises(Exception):
+            labeler.bulk_load([1, 2, 3])
+
+    def test_bulk_load_cost_is_one_placement_per_element(self):
+        labeler = make(shard_capacity=16)
+        assert labeler.bulk_load(list(range(64))) == 64
+
+
+class TestNaiveShards:
+    def test_left_packed_shards_survive_restructures(self):
+        # Regression: NaiveLabeler.bulk_load must left-pack, or the first
+        # insert after a split corrupts the shard.
+        labeler = ShardedLabeler(lambda cap: NaiveLabeler(cap), shard_capacity=16)
+        for index in range(80):
+            labeler.insert(1, 80 - index)
+        assert labeler.elements() == list(range(1, 81))
+        check_labeler(labeler)
