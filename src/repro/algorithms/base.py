@@ -22,7 +22,7 @@ from typing import Hashable, Sequence
 
 from repro.core.fenwick import FenwickTree
 from repro.core.interface import ListLabeler
-from repro.core.operations import Move, Operation, OperationResult
+from repro.core.operations import MoveRecorder, Operation, OperationResult
 
 
 class DenseArrayLabeler(ListLabeler):
@@ -44,7 +44,7 @@ class DenseArrayLabeler(ListLabeler):
         self._slots: list[Hashable | None] = [None] * self.num_slots
         self._occupancy = FenwickTree(self.num_slots)
         self._position: dict[Hashable, int] = {}
-        self._current_moves: list[Move] | None = None
+        self._current_moves: MoveRecorder | None = None
 
     # ------------------------------------------------------------------
     # Physical state
@@ -116,16 +116,18 @@ class DenseArrayLabeler(ListLabeler):
     # Move-recorded primitives
     # ------------------------------------------------------------------
     def _begin(self, operation: Operation) -> OperationResult:
-        result = OperationResult(operation)
+        # Recorder-backed move log: the rebalance loops append raw triples
+        # instead of allocating one frozen Move dataclass per element moved.
+        result = OperationResult(operation, MoveRecorder())
         self._current_moves = result.moves
         return result
 
     def _finish(self) -> None:
         self._current_moves = None
 
-    def _record(self, move: Move) -> None:
+    def _record(self, element: Hashable, source: int | None, destination: int | None) -> None:
         if self._current_moves is not None:
-            self._current_moves.append(move)
+            self._current_moves.record(element, source, destination)
 
     def _place(self, index: int, element: Hashable) -> None:
         """Place a brand-new element into a free slot."""
@@ -134,7 +136,7 @@ class DenseArrayLabeler(ListLabeler):
         self._slots[index] = element
         self._occupancy.set(index, 1)
         self._position[element] = index
-        self._record(Move(element, None, index))
+        self._record(element, None, index)
 
     def _remove(self, index: int) -> Hashable:
         """Remove and return the element stored at ``index``."""
@@ -144,7 +146,7 @@ class DenseArrayLabeler(ListLabeler):
         self._slots[index] = None
         self._occupancy.set(index, 0)
         del self._position[element]
-        self._record(Move(element, index, None))
+        self._record(element, index, None)
         return element
 
     def _move(self, src: int, dst: int) -> None:
@@ -161,7 +163,7 @@ class DenseArrayLabeler(ListLabeler):
         self._occupancy.set(src, 0)
         self._occupancy.set(dst, 1)
         self._position[element] = dst
-        self._record(Move(element, src, dst))
+        self._record(element, src, dst)
 
     # ------------------------------------------------------------------
     # Common manoeuvres

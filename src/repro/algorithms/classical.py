@@ -228,9 +228,7 @@ class ClassicalPMA(DenseArrayLabeler):
         level = getattr(self, "_batch_level", 0)
         self.rebalance_count += 1
         if self._current_moves is not None:
-            self.rebalance_moves += sum(
-                move.cost for move in self._current_moves
-            )
+            self.rebalance_moves += self._current_moves.total_cost
         self.rebalances_by_level[level] = self.rebalances_by_level.get(level, 0) + 1
 
     # ------------------------------------------------------------------

@@ -12,12 +12,13 @@ experiments print.
 from repro.analysis.runner import RunResult, run_workload
 from repro.analysis.curves import estimate_log_exponent, growth_ratios
 from repro.analysis.reference import ChunkedList
-from repro.analysis.report import format_table
+from repro.analysis.report import format_scenario_table, format_table
 
 __all__ = [
     "ChunkedList",
     "RunResult",
     "estimate_log_exponent",
+    "format_scenario_table",
     "format_table",
     "growth_ratios",
     "run_workload",

@@ -45,3 +45,32 @@ def format_table(
     for line in rendered_rows:
         lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
     return "\n".join(lines)
+
+
+def format_scenario_table(document: Mapping, *, title: str | None = None) -> str:
+    """Render a ``BENCH_*.json`` baseline document as one aligned table.
+
+    One row per ``(scenario, n)`` entry; the column set is the union of the
+    scenario metric dicts, with the identifying columns first.  Used by
+    ``python -m repro.perf`` and to regenerate the README throughput table.
+    """
+    rows: list[dict] = []
+    columns: list[str] = ["scenario", "n"]
+    for name, entry in document.get("scenarios", {}).items():
+        for size, metrics in sorted(
+            entry.get("sizes", {}).items(), key=lambda item: int(item[0])
+        ):
+            row: dict = {"scenario": name, "n": size}
+            row.update(metrics)
+            rows.append(row)
+            for column in metrics:
+                if column not in columns:
+                    columns.append(column)
+    if title is None:
+        suite = document.get("suite", "?")
+        title = (
+            f"suite={suite} seed={document.get('seed')} "
+            f"schema={document.get('schema_version')} "
+            f"quick={document.get('quick')}"
+        )
+    return format_table(rows, columns=columns, title=title, precision=4)

@@ -59,9 +59,17 @@ class RunResult:
     def total_cost(self) -> int:
         return self.tracker.total_cost
 
+    @property
+    def ops_per_second(self) -> float:
+        """Logical-operation throughput of the run (wall-clock derived)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.tracker.operations / self.elapsed_seconds
+
     def summary(self) -> dict[str, float]:
         data = self.tracker.summary()
         data["elapsed_seconds"] = self.elapsed_seconds
+        data["ops_per_second"] = self.ops_per_second
         data["batch_size"] = float(self.batch_size)
         shard_statistics = getattr(self.labeler, "shard_statistics", None)
         if callable(shard_statistics):

@@ -20,10 +20,13 @@ from repro.core.operations import (
     INSERT,
     BatchResult,
     Move,
+    MoveRecorder,
     Operation,
     OperationResult,
+    move_triples,
 )
 from repro.core.interface import ListLabeler
+from repro.core.physical import PhysicalArray, ReferencePhysicalArray
 from repro.core.cost import CostTracker, WindowStatistics
 from repro.core.embedding import Embedding
 from repro.core.layered import (
@@ -48,11 +51,15 @@ __all__ = [
     "LayeredLabeler",
     "ListLabeler",
     "Move",
+    "MoveRecorder",
     "Operation",
     "OperationResult",
+    "PhysicalArray",
     "RankError",
+    "ReferencePhysicalArray",
     "ShardedLabeler",
     "WindowStatistics",
     "make_corollary11_labeler",
     "make_corollary12_labeler",
+    "move_triples",
 ]

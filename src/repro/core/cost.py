@@ -92,6 +92,18 @@ class CostTracker:
         for cost in costs:
             self.record(cost)
 
+    def record_recorder(self, recorder, operations: int = 1) -> None:
+        """Consume a :class:`repro.core.operations.MoveRecorder` directly.
+
+        The zero-alloc counterpart of summing ``Move.cost`` over a move
+        list: the recorder keeps its total pre-aggregated, so charging a
+        whole recorded run (or batch) to the tracker reads one integer and
+        never materializes a ``Move``.  ``operations`` is the number of
+        logical operations the recorded work served (a batch weight, as in
+        :meth:`record_batch`).
+        """
+        self.record_batch(recorder.total_cost, operations)
+
     def record_restructure(self, kind: str, moves: int) -> None:
         """Record one structural event (a shard split/merge, a rebuild, …).
 

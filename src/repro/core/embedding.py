@@ -29,13 +29,18 @@ from typing import Callable, Hashable, Sequence
 from repro.core.emulator import FEmulator
 from repro.core.exceptions import InvariantViolation
 from repro.core.interface import ListLabeler
-from repro.core.operations import Operation, OperationResult
+from repro.core.operations import MoveRecorder, Operation, OperationResult
 from repro.core.physical import BUFFER, F_SLOT, PhysicalArray, R_EMPTY
 from repro.core.shell import RShell
 
 #: Type of the factories used to build the component algorithms: they receive
 #: ``(capacity, num_slots)`` and return a ready list labeler.
 LabelerFactory = Callable[[int, int], ListLabeler]
+
+#: Type of the factory building the shared physical array from its slot
+#: count.  The default is :class:`repro.core.physical.PhysicalArray`; the
+#: perf/differential harnesses inject tracing or reference implementations.
+PhysicalFactory = Callable[[int], PhysicalArray]
 
 
 def default_expected_cost(capacity: int) -> int:
@@ -57,6 +62,7 @@ class Embedding(ListLabeler):
         num_slots: int | None = None,
         reliable_expected_cost: int | None = None,
         rebuild_work_factor: float = 1.0,
+        physical_factory: PhysicalFactory | None = None,
     ) -> None:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
@@ -103,7 +109,7 @@ class Embedding(ListLabeler):
             lemma7_floor, int(math.ceil(rebuild_work_factor * self.e_r))
         )
 
-        self._physical = PhysicalArray(num_slots)
+        self._physical = (physical_factory or PhysicalArray)(num_slots)
         self._shell = RShell(
             reliable_factory,
             f_slots=f_slots,
@@ -163,7 +169,9 @@ class Embedding(ListLabeler):
         )
 
     def _insert(self, rank: int, element: Hashable) -> OperationResult:
-        result = OperationResult(Operation.insert(rank))
+        # The recorder-backed sink keeps the hot path allocation-free; the
+        # result still exposes the Move API through it.
+        result = OperationResult(Operation.insert(rank), MoveRecorder())
         self._physical.move_sink = result.moves
         try:
             simulated_result = self._emulator.simulated.insert(rank, element)
@@ -187,7 +195,7 @@ class Embedding(ListLabeler):
         return result
 
     def _delete(self, rank: int) -> OperationResult:
-        result = OperationResult(Operation.delete(rank))
+        result = OperationResult(Operation.delete(rank), MoveRecorder())
         self._physical.move_sink = result.moves
         try:
             element = self._physical.element_at_rank(rank)

@@ -10,6 +10,7 @@ replay a fast algorithm's moves on the shared physical array.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Iterator, Sequence
 
@@ -101,21 +102,157 @@ class Move:
         return 1
 
 
+class MoveRecorder:
+    """An append-only, allocation-free move log (the fast-path ``move_sink``).
+
+    The paper's cost metric only needs the *count* of element moves, yet the
+    seed implementation materialized one frozen :class:`Move` dataclass per
+    move even on paths where nobody ever reads the log.  The recorder stores
+    the raw ``(element, source, destination)`` triple in parallel slabs — a
+    plain object list plus two ``array('q')`` columns with ``-1`` standing in
+    for ``None`` — and keeps :attr:`total_cost` incrementally, so recording a
+    move is three appends and an integer add.
+
+    The :class:`Move` API is preserved for tests and analysis: iterating,
+    indexing or comparing a recorder materializes `Move` objects on demand,
+    so any consumer written against ``list[Move]`` keeps working.
+    """
+
+    __slots__ = ("_elements", "_sources", "_destinations", "total_cost")
+
+    def __init__(self) -> None:
+        self._elements: list[Hashable] = []
+        self._sources = array("q")
+        self._destinations = array("q")
+        #: Element-move cost of everything recorded so far (Definition 1).
+        self.total_cost = 0
+
+    def record(
+        self, element: Hashable, source: int | None, destination: int | None
+    ) -> None:
+        """Record one move given as raw coordinates (``None`` = off-array)."""
+        self._elements.append(element)
+        self._sources.append(-1 if source is None else source)
+        self._destinations.append(-1 if destination is None else destination)
+        if destination is not None and source != destination:
+            self.total_cost += 1
+
+    def append(self, move: Move) -> None:
+        """Accept a materialized :class:`Move` (list-API compatibility)."""
+        self.record(move.element, move.source, move.destination)
+
+    def extend(self, moves: Iterable[Move]) -> None:
+        for move in moves:
+            self.record(move.element, move.source, move.destination)
+
+    def clear(self) -> None:
+        self._elements.clear()
+        del self._sources[:]
+        del self._destinations[:]
+        self.total_cost = 0
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __bool__(self) -> bool:
+        return bool(self._elements)
+
+    def __iter__(self) -> Iterator[Move]:
+        for element, source, destination in zip(
+            self._elements, self._sources, self._destinations
+        ):
+            yield Move(
+                element,
+                None if source < 0 else source,
+                None if destination < 0 else destination,
+            )
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return list(self)[index]
+        source = self._sources[index]
+        destination = self._destinations[index]
+        return Move(
+            self._elements[index],
+            None if source < 0 else source,
+            None if destination < 0 else destination,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (MoveRecorder, list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def moves(self) -> list[Move]:
+        """Materialize the log as a plain list of :class:`Move` objects."""
+        return list(self)
+
+    def triples(self) -> list[tuple[Hashable, int | None, int | None]]:
+        """The raw log as ``(element, source, destination)`` tuples."""
+        return [
+            (
+                element,
+                None if source < 0 else source,
+                None if destination < 0 else destination,
+            )
+            for element, source, destination in zip(
+                self._elements, self._sources, self._destinations
+            )
+        ]
+
+    def moved_elements(self) -> list[Hashable]:
+        """Elements that physically moved (or were placed), in move order."""
+        return [
+            element
+            for element, source, destination in zip(
+                self._elements, self._sources, self._destinations
+            )
+            if destination >= 0 and source != destination
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"MoveRecorder(moves={len(self)}, total_cost={self.total_cost})"
+
+
+def move_triples(moves: Iterable[Move]) -> list[tuple[Hashable, int | None, int | None]]:
+    """Normalize any move log to ``(element, source, destination)`` tuples.
+
+    The differential suite compares move logs across physical-array
+    implementations; this helper gives both the list-of-:class:`Move` and the
+    :class:`MoveRecorder` representations a common comparable form.
+    """
+    if isinstance(moves, MoveRecorder):
+        return moves.triples()
+    return [(move.element, move.source, move.destination) for move in moves]
+
+
 @dataclass
 class OperationResult:
-    """The outcome of a single insert/delete on a list-labeling structure."""
+    """The outcome of a single insert/delete on a list-labeling structure.
+
+    ``moves`` is either a plain ``list[Move]`` or a :class:`MoveRecorder`;
+    the recorder keeps its cost pre-aggregated, so :attr:`cost` is ``O(1)``
+    on the fast path instead of a sum over materialized moves.
+    """
 
     operation: Operation
-    moves: list[Move] = field(default_factory=list)
+    moves: list[Move] | MoveRecorder = field(default_factory=list)
 
     @property
     def cost(self) -> int:
         """Total element-move cost of the operation."""
-        return sum(move.cost for move in self.moves)
+        moves = self.moves
+        total = getattr(moves, "total_cost", None)
+        if total is not None:
+            return total
+        return sum(move.cost for move in moves)
 
     def moved_elements(self) -> list[Hashable]:
         """Elements that physically moved (or were placed), in move order."""
-        return [move.element for move in self.moves if move.cost > 0]
+        moves = self.moves
+        if isinstance(moves, MoveRecorder):
+            return moves.moved_elements()
+        return [move.element for move in moves if move.cost > 0]
 
     def extend(self, moves: Iterable[Move]) -> None:
         """Append additional moves (used by composite structures)."""

@@ -1,0 +1,321 @@
+"""Schema-versioned benchmark baselines and the regression comparator.
+
+The committed artifacts are ``BENCH_core.json`` and ``BENCH_sharded.json``
+at the repository root:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "suite": "core",
+      "seed": 20260730,
+      "quick": false,
+      "scenarios": {
+        "insert_heavy": {
+          "sizes": {
+            "512":  {"operations": 512, "moves": 5613, "...": "..."},
+            "4096": {"operations": 4096, "moves": 46687, "...": "..."}
+          }
+        }
+      }
+    }
+
+Full generation records every scenario at its quick *and* full size; a
+``--quick`` regeneration (what CI does on every push) reruns only the quick
+sizes and :func:`compare_baselines` diffs the intersection:
+
+* move-count metrics (``moves``, ``total_moves``, ``reference_moves``,
+  ``restructure_moves``) regressing by more than the tolerance (default
+  25%) are **failures** — the comparator exits nonzero;
+* a ``moves_match: false`` (slab/reference move-log divergence) is always a
+  failure;
+* wall-clock metrics (``elapsed_seconds``, ``reference_elapsed_seconds``,
+  ``speedup``, ``ops_per_second``) only ever **warn** — timings are
+  machine-dependent, move counts are not.  The check is direction-aware:
+  elapsed times warn when the fresh run is *slower* by the warn factor,
+  ``speedup``/``ops_per_second`` warn when the fresh value *collapses* by
+  it;
+* any other metric drift warns, since for a fixed seed every non-wall-clock
+  number is expected to be bit-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.perf.scenarios import CORE_SCENARIOS, SHARDED_SCENARIOS, ScenarioSpec
+
+SCHEMA_VERSION = 1
+
+#: Seed baked into the committed baselines.
+DEFAULT_SEED = 20260730
+
+#: Default failure threshold for move-count regressions (+25%).
+DEFAULT_MOVE_TOLERANCE = 0.25
+
+#: Wall-clock warn threshold (fresh slower than baseline by this factor).
+WALL_CLOCK_WARN_FACTOR = 1.5
+
+SUITES: dict[str, dict[str, ScenarioSpec]] = {
+    "core": CORE_SCENARIOS,
+    "sharded": SHARDED_SCENARIOS,
+}
+
+#: Metrics measured in element moves — the paper's cost model, and the only
+#: numbers the comparator treats as hard regressions.
+MOVE_METRICS = frozenset(
+    {"moves", "reference_moves", "total_moves", "restructure_moves"}
+)
+
+#: Machine-dependent metrics: never compared strictly, stripped by the
+#: determinism tests, and only warned about by the comparator.
+WALL_CLOCK_METRICS = frozenset(
+    {
+        "elapsed_seconds",
+        "reference_elapsed_seconds",
+        "speedup",
+        "ops_per_second",
+    }
+)
+
+#: Wall-clock metrics where a *drop* (not a rise) signals degradation.
+_HIGHER_IS_BETTER = frozenset({"speedup", "ops_per_second"})
+
+
+def baseline_filename(suite: str) -> str:
+    """The committed artifact name of a suite (``BENCH_<suite>.json``)."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r} (have {sorted(SUITES)})")
+    return f"BENCH_{suite}.json"
+
+
+def generate_suite(suite: str, *, quick: bool = False, seed: int = DEFAULT_SEED) -> dict:
+    """Run every scenario of ``suite`` and return the baseline document.
+
+    Full mode runs each scenario at its quick and full sizes (so the
+    committed file contains the entries a quick CI regeneration can be
+    diffed against); quick mode runs the quick sizes only.
+    """
+    scenarios = SUITES.get(suite)
+    if scenarios is None:
+        raise ValueError(f"unknown suite {suite!r} (have {sorted(SUITES)})")
+    document: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "seed": seed,
+        "quick": quick,
+        "scenarios": {},
+    }
+    for name, spec in scenarios.items():
+        sizes = [spec.quick_n] if quick else sorted({spec.quick_n, spec.full_n})
+        document["scenarios"][name] = {
+            "sizes": {str(n): spec.run(n, seed) for n in sizes}
+        }
+    return document
+
+
+def write_baseline(path: str | Path, document: dict) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def strip_wall_clock(document: dict) -> dict:
+    """A copy of a baseline document without its machine-dependent fields.
+
+    Two runs with the same seed must produce *identical* stripped documents
+    — the determinism regression test asserts exactly that across fresh
+    processes.
+    """
+    stripped = {
+        key: value for key, value in document.items() if key != "scenarios"
+    }
+    stripped["scenarios"] = {
+        name: {
+            "sizes": {
+                size: {
+                    metric: value
+                    for metric, value in metrics.items()
+                    if metric not in WALL_CLOCK_METRICS
+                }
+                for size, metrics in entry["sizes"].items()
+            }
+        }
+        for name, entry in document["scenarios"].items()
+    }
+    return stripped
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+@dataclass
+class BaselineComparison:
+    """The outcome of diffing a fresh run against a committed baseline."""
+
+    suite: str
+    rows: list[dict] = field(default_factory=list)
+    failures: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def _row(self, scenario: str, size: str, metric: str, baseline, fresh, status: str) -> None:
+        delta = ""
+        if (
+            isinstance(baseline, (int, float))
+            and isinstance(fresh, (int, float))
+            and not isinstance(baseline, bool)
+            and baseline
+        ):
+            delta = f"{(fresh - baseline) / baseline * 100.0:+.1f}%"
+        self.rows.append(
+            {
+                "scenario": scenario,
+                "n": size,
+                "metric": metric,
+                "baseline": baseline,
+                "fresh": fresh,
+                "delta": delta,
+                "status": status,
+            }
+        )
+
+
+def compare_baselines(
+    baseline: dict,
+    fresh: dict,
+    *,
+    move_tolerance: float = DEFAULT_MOVE_TOLERANCE,
+) -> BaselineComparison:
+    """Diff ``fresh`` (a regenerated run) against ``baseline`` (committed).
+
+    Only the scenario/size intersection is compared, so a quick fresh run
+    diffs cleanly against a full committed baseline.  See the module
+    docstring for the failure/warning policy.
+    """
+    suite = baseline.get("suite", "?")
+    comparison = BaselineComparison(suite=suite)
+    if baseline.get("schema_version") != fresh.get("schema_version"):
+        comparison.failures.append(
+            f"schema version mismatch: baseline "
+            f"{baseline.get('schema_version')!r} vs fresh "
+            f"{fresh.get('schema_version')!r} — regenerate the baseline"
+        )
+        return comparison
+    if baseline.get("seed") != fresh.get("seed"):
+        comparison.failures.append(
+            f"seed mismatch: baseline {baseline.get('seed')!r} vs fresh "
+            f"{fresh.get('seed')!r} — move counts are not comparable"
+        )
+        return comparison
+
+    base_scenarios = baseline.get("scenarios", {})
+    fresh_scenarios = fresh.get("scenarios", {})
+    for name in sorted(set(base_scenarios) | set(fresh_scenarios)):
+        if name not in fresh_scenarios:
+            comparison.notes.append(f"{name}: not rerun (baseline-only)")
+            continue
+        if name not in base_scenarios:
+            comparison.warnings.append(
+                f"{name}: no committed baseline — run `python -m repro.perf "
+                f"generate` and commit the refreshed BENCH files"
+            )
+            continue
+        base_sizes = base_scenarios[name].get("sizes", {})
+        fresh_sizes = fresh_scenarios[name].get("sizes", {})
+        for size in sorted(set(base_sizes) & set(fresh_sizes), key=int):
+            _compare_metrics(
+                comparison,
+                name,
+                size,
+                base_sizes[size],
+                fresh_sizes[size],
+                move_tolerance,
+            )
+        for size in sorted(set(fresh_sizes) - set(base_sizes), key=int):
+            comparison.warnings.append(
+                f"{name}@{size}: size missing from the committed baseline"
+            )
+    return comparison
+
+
+def _compare_metrics(
+    comparison: BaselineComparison,
+    scenario: str,
+    size: str,
+    base_metrics: dict,
+    fresh_metrics: dict,
+    move_tolerance: float,
+) -> None:
+    for metric in sorted(set(base_metrics) | set(fresh_metrics)):
+        base_value = base_metrics.get(metric)
+        fresh_value = fresh_metrics.get(metric)
+        label = f"{scenario}@{size}.{metric}"
+        if base_value is None or fresh_value is None:
+            comparison.warnings.append(f"{label}: present on one side only")
+            continue
+        if metric == "moves_match":
+            if fresh_value is not True:
+                comparison.failures.append(
+                    f"{label}: slab and reference move logs diverged"
+                )
+                comparison._row(scenario, size, metric, base_value, fresh_value, "FAIL")
+            continue
+        if metric in WALL_CLOCK_METRICS:
+            status = "ok"
+            if isinstance(base_value, (int, float)) and base_value > 0:
+                # Direction-aware: speedup/ops_per_second are higher-is-
+                # better (warn on collapse), elapsed times are lower-is-
+                # better (warn on slowdown).
+                if metric in _HIGHER_IS_BETTER:
+                    degraded = fresh_value * WALL_CLOCK_WARN_FACTOR < base_value
+                else:
+                    degraded = fresh_value > base_value * WALL_CLOCK_WARN_FACTOR
+                if degraded:
+                    status = "WARN"
+                    comparison.warnings.append(
+                        f"{label}: wall-clock {fresh_value:.4f} vs baseline "
+                        f"{base_value:.4f} (machine-dependent; not a failure)"
+                    )
+            comparison._row(scenario, size, metric, base_value, fresh_value, status)
+            continue
+        if metric in MOVE_METRICS:
+            if base_value > 0:
+                relative = (fresh_value - base_value) / base_value
+            else:
+                relative = 0.0 if fresh_value == base_value else math.inf
+            if relative > move_tolerance:
+                comparison.failures.append(
+                    f"{label}: move count regressed {relative * 100.0:+.1f}% "
+                    f"({base_value} → {fresh_value}, tolerance "
+                    f"{move_tolerance * 100.0:.0f}%)"
+                )
+                status = "FAIL"
+            elif fresh_value != base_value:
+                comparison.warnings.append(
+                    f"{label}: move count drifted ({base_value} → {fresh_value}) "
+                    f"— seeded runs should be identical; regenerate the "
+                    f"baseline if this change is intended"
+                )
+                status = "WARN"
+            else:
+                status = "ok"
+            comparison._row(scenario, size, metric, base_value, fresh_value, status)
+            continue
+        if base_value != fresh_value:
+            comparison.warnings.append(
+                f"{label}: {base_value!r} → {fresh_value!r} (deterministic "
+                f"metric drifted)"
+            )
+            comparison._row(scenario, size, metric, base_value, fresh_value, "WARN")

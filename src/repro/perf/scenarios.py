@@ -1,0 +1,252 @@
+"""Deterministic, seeded throughput scenarios for the benchmark baselines.
+
+Each scenario is a pure function ``run(n, seed) -> dict`` returning a flat
+metric dict.  Two invariants every scenario keeps:
+
+* **move counts are bit-deterministic** — the same ``(n, seed)`` produces
+  the same ``moves`` / ``total_moves`` / split/merge counts in any process
+  (this is what the determinism regression test and the CI comparator rely
+  on);
+* **wall-clock metrics are labelled as such** — ``elapsed_seconds``,
+  ``*_elapsed_seconds``, ``speedup`` and ``ops_per_second`` are the only
+  fields allowed to differ between runs, and the comparator only warns on
+  them.
+
+The core scenarios replay one recorded physical trace on both the slab
+backend and the seed reference, so their ``speedup`` is an apples-to-apples
+measurement of the physical layer on identical work.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.operations import MoveRecorder, move_triples
+from repro.core.physical import BUFFER, F_SLOT, PhysicalArray, ReferencePhysicalArray
+from repro.perf.trace import (
+    PhysicalTrace,
+    TracingPhysicalArray,
+    record_insert_heavy_trace,
+    replay_trace,
+)
+
+#: Repeat count for the replay timings (best-of to damp scheduler noise).
+_TIMING_REPEATS = 2
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named scenario plus the sizes it runs at.
+
+    The committed baselines store results at both ``quick_n`` and
+    ``full_n``; quick regenerations (CI) only rerun ``quick_n`` and the
+    comparator diffs the intersection.
+    """
+
+    name: str
+    quick_n: int
+    full_n: int
+    run: Callable[[int, int], dict]
+
+
+# ---------------------------------------------------------------------------
+# Core suite: physical-layer replays (slab vs reference)
+# ---------------------------------------------------------------------------
+def _timed_replays(trace: PhysicalTrace, num_slots: int) -> dict:
+    """Replay ``trace`` on both physical backends; time and cross-check."""
+    reference_elapsed = None
+    for _ in range(_TIMING_REPEATS):
+        array = ReferencePhysicalArray(num_slots)
+        sink: list = []
+        array.move_sink = sink
+        started = time.perf_counter()
+        replay_trace(trace, array)
+        elapsed = time.perf_counter() - started
+        array.move_sink = None
+        if reference_elapsed is None or elapsed < reference_elapsed:
+            reference_elapsed = elapsed
+
+    slab_elapsed = None
+    for _ in range(_TIMING_REPEATS):
+        array = PhysicalArray(num_slots)
+        recorder = MoveRecorder()
+        array.move_sink = recorder
+        started = time.perf_counter()
+        replay_trace(trace, array)
+        elapsed = time.perf_counter() - started
+        array.move_sink = None
+        if slab_elapsed is None or elapsed < slab_elapsed:
+            slab_elapsed = elapsed
+
+    reference_cost = sum(move.cost for move in sink)
+    return {
+        "trace_ops": len(trace),
+        "num_slots": num_slots,
+        "moves": recorder.total_cost,
+        "reference_moves": reference_cost,
+        "moves_match": move_triples(sink) == recorder.triples(),
+        "elapsed_seconds": slab_elapsed,
+        "reference_elapsed_seconds": reference_elapsed,
+        "speedup": reference_elapsed / slab_elapsed if slab_elapsed else 0.0,
+    }
+
+
+def run_insert_heavy(n: int, seed: int) -> dict:
+    """Singleton insert-heavy embedding traffic at uniformly random ranks.
+
+    The trace of an ``Embedding(adaptive ⊳ classical)`` run — the paper's
+    flagship composition — replayed on both physical backends.
+    """
+    trace, num_slots = record_insert_heavy_trace(n, seed)
+    metrics = {"operations": n}
+    metrics.update(_timed_replays(trace, num_slots))
+    return metrics
+
+
+def run_mixed_churn(n: int, seed: int) -> dict:
+    """Insert/delete churn (30% deletes) through the same embedding."""
+    trace, num_slots = record_insert_heavy_trace(n, seed, delete_fraction=0.3)
+    metrics = {"operations": n}
+    metrics.update(_timed_replays(trace, num_slots))
+    return metrics
+
+
+def _record_chain_sparse_trace(n: int, seed: int) -> tuple[PhysicalTrace, int, int]:
+    """A sparse array whose chain moves span almost the whole slot range.
+
+    Two token clusters at the array ends, a vast R-empty middle, and one
+    pivot element ping-ponging between far-apart F-labels (plus a few
+    buffered elements that ride along as deadweight).  The seed's
+    ``chain_positions`` scans the full ``O(m)`` span on every chain move;
+    the slab backend walks only the tokens it finds.
+    """
+    num_slots = 32 * n
+    cluster = 32
+    trace: PhysicalTrace = []
+    array = TracingPhysicalArray(num_slots, trace)
+    kinds = []
+    for offset in range(cluster):
+        kind = F_SLOT if offset % 2 == 0 else BUFFER
+        kinds.append((offset, kind))
+        kinds.append((num_slots - cluster + offset, kind))
+    array.initialize_kinds(kinds)
+    array.put_element(0, "pivot")
+    for position in (1, 3, 5):  # deadweight riders on left-cluster buffers
+        array.put_element(position, f"rider-{position}")
+    rng = random.Random(seed)
+    f_total = array.f_slot_count
+    rounds = max(8, n // 64)
+    for step in range(rounds):
+        source = array.position_of("pivot")
+        if step % 2 == 0:
+            target = f_total - 1 - rng.randrange(4)
+        else:
+            target = rng.randrange(4)
+        array.chain_move(source, target)
+    return trace, num_slots, rounds
+
+
+def run_chain_sparse(n: int, seed: int) -> dict:
+    """Chain moves across a sparse array (the select-walk showcase)."""
+    trace, num_slots, rounds = _record_chain_sparse_trace(n, seed)
+    metrics = {"operations": rounds}
+    metrics.update(_timed_replays(trace, num_slots))
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Sharded suite: whole-structure throughput through the runner
+# ---------------------------------------------------------------------------
+def _sharded_labeler(shard_capacity: int = 128):
+    from repro.algorithms import ClassicalPMA
+    from repro.core.sharded import ShardedLabeler
+
+    return ShardedLabeler(
+        lambda capacity: ClassicalPMA(capacity), shard_capacity=shard_capacity
+    )
+
+
+def _run_result_metrics(result, labeler) -> dict:
+    tracker = result.tracker
+    operations = tracker.operations
+    elapsed = result.elapsed_seconds
+    metrics = {
+        "operations": operations,
+        "total_moves": tracker.total_cost,
+        "amortized": round(tracker.amortized, 6),
+        "worst_event": tracker.worst_case,
+        "shards": labeler.shard_count,
+        "splits": labeler.splits,
+        "merges": labeler.merges,
+        "restructure_moves": labeler.restructure_moves,
+        "elapsed_seconds": elapsed,
+        "ops_per_second": operations / elapsed if elapsed else 0.0,
+    }
+    return metrics
+
+
+def run_sharded_mixed(n: int, seed: int) -> dict:
+    """Uniform random mixed traffic (30% deletes) on sharded classical PMAs."""
+    from repro.analysis.runner import run_workload
+    from repro.workloads.random_uniform import RandomWorkload
+
+    labeler = _sharded_labeler()
+    workload = RandomWorkload(n, capacity=n, delete_fraction=0.3, seed=seed)
+    result = run_workload(labeler, workload)
+    return _run_result_metrics(result, labeler)
+
+
+def run_sharded_bulk_batched(n: int, seed: int) -> dict:
+    """Sorted-run bulk ingestion through the batch engine (batch size 64)."""
+    from repro.analysis.runner import run_workload
+    from repro.workloads.bulk import BulkLoadWorkload
+
+    labeler = _sharded_labeler()
+    workload = BulkLoadWorkload(n, batch_size=64, seed=seed)
+    result = run_workload(labeler, workload, batch_size=64)
+    metrics = _run_result_metrics(result, labeler)
+    metrics["batches"] = result.tracker.batches
+    return metrics
+
+
+def run_zipfian_hammer(n: int, seed: int) -> dict:
+    """Zipf-skewed insertions hammering a small part of the key space."""
+    from repro.analysis.runner import run_workload
+    from repro.workloads.zipfian import ZipfianWorkload
+
+    labeler = _sharded_labeler()
+    workload = ZipfianWorkload(n, skew=1.2, seed=seed)
+    result = run_workload(labeler, workload)
+    return _run_result_metrics(result, labeler)
+
+
+# ---------------------------------------------------------------------------
+# Registries
+# ---------------------------------------------------------------------------
+CORE_SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec("insert_heavy", quick_n=512, full_n=4096, run=run_insert_heavy),
+        ScenarioSpec("mixed_churn", quick_n=512, full_n=2048, run=run_mixed_churn),
+        ScenarioSpec("chain_sparse", quick_n=256, full_n=2048, run=run_chain_sparse),
+    )
+}
+
+SHARDED_SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec("sharded_mixed", quick_n=2048, full_n=16384, run=run_sharded_mixed),
+        ScenarioSpec(
+            "sharded_bulk_batched",
+            quick_n=4096,
+            full_n=32768,
+            run=run_sharded_bulk_batched,
+        ),
+        ScenarioSpec(
+            "zipfian_hammer", quick_n=1024, full_n=8192, run=run_zipfian_hammer
+        ),
+    )
+}

@@ -141,3 +141,30 @@ class TestRestructureStatistics:
 
     def test_empty_structure_statistics(self):
         assert CostTracker().structure_statistics() == {}
+
+
+class TestRecordRecorder:
+    def test_charges_the_recorders_pre_aggregated_total(self):
+        from repro.core.operations import MoveRecorder
+
+        recorder = MoveRecorder()
+        recorder.record("a", None, 3)  # placement: cost 1
+        recorder.record("a", 3, 7)  # move: cost 1
+        recorder.record("a", 7, None)  # removal: cost 0
+        tracker = CostTracker()
+        tracker.record_recorder(recorder, operations=2)
+        assert tracker.total_cost == recorder.total_cost == 2
+        assert tracker.operations == 2
+        assert tracker.events == 1
+        assert tracker.worst_case == 2
+
+    def test_matches_materialized_move_costs(self):
+        from repro.core.operations import Move, MoveRecorder
+
+        recorder = MoveRecorder()
+        moves = [Move("x", None, 0), Move("y", 0, 5), Move("x", 2, 2)]
+        recorder.extend(moves)
+        tracker = CostTracker()
+        tracker.record_recorder(recorder)
+        assert tracker.total_cost == sum(move.cost for move in moves)
+        assert tracker.operations == 1

@@ -1,4 +1,10 @@
-"""Unit tests for the embedding's physical array (slot kinds, chain moves)."""
+"""Unit tests for the embedding's physical array (slot kinds, chain moves).
+
+Every test runs against **both** implementations — the slab-backed
+:class:`PhysicalArray` and the seed's list-backed
+:class:`ReferencePhysicalArray` — via the ``impl`` fixture, so the
+differential oracle is held to the same contract as the production backend.
+"""
 
 from __future__ import annotations
 
@@ -6,31 +12,48 @@ import pytest
 
 from repro.core.exceptions import InvariantViolation
 from repro.core.operations import Move
-from repro.core.physical import BUFFER, F_SLOT, R_EMPTY, PhysicalArray
+from repro.core.physical import (
+    BUFFER,
+    F_SLOT,
+    R_EMPTY,
+    PhysicalArray,
+    ReferencePhysicalArray,
+)
+
+IMPLEMENTATIONS = {
+    "slab": PhysicalArray,
+    "reference": ReferencePhysicalArray,
+}
 
 
-def build_array(spec: str) -> PhysicalArray:
+@pytest.fixture(params=sorted(IMPLEMENTATIONS))
+def impl(request):
+    """The physical-array class under test."""
+    return IMPLEMENTATIONS[request.param]
+
+
+def build_array(spec: str, cls=PhysicalArray):
     """Build an array from a compact spec string.
 
-    Characters: ``f`` free F-slot, ``F<digit>`` not supported — occupied slots
-    are set afterwards; ``b`` dummy buffer, ``.`` R-empty.
+    Characters: ``f`` free F-slot, ``b`` dummy buffer, ``.`` R-empty;
+    occupied slots are set afterwards via ``put_element``.
     """
-    array = PhysicalArray(len(spec))
+    array = cls(len(spec))
     kinds = {"f": F_SLOT, "b": BUFFER, ".": R_EMPTY}
     array.initialize_kinds((i, kinds[c]) for i, c in enumerate(spec))
     return array
 
 
 class TestBasics:
-    def test_counts(self):
-        array = build_array("fbf.b.")
+    def test_counts(self, impl):
+        array = build_array("fbf.b.", impl)
         assert array.f_slot_count == 2
         assert array.buffer_count == 2
         assert array.dummy_buffer_count == 2
         assert array.buffered_element_count == 0
 
-    def test_put_take_move(self):
-        array = build_array("ff.f")
+    def test_put_take_move(self, impl):
+        array = build_array("ff.f", impl)
         array.put_element(0, 10)
         array.put_element(1, 20)
         assert array.elements() == [10, 20]
@@ -40,14 +63,14 @@ class TestBasics:
         array.take_element(0)
         assert array.elements() == [20]
 
-    def test_put_on_occupied_rejected(self):
-        array = build_array("ff")
+    def test_put_on_occupied_rejected(self, impl):
+        array = build_array("ff", impl)
         array.put_element(0, 1)
         with pytest.raises(InvariantViolation):
             array.put_element(0, 2)
 
-    def test_f_coordinates(self):
-        array = build_array("bf.fbf")
+    def test_f_coordinates(self, impl):
+        array = build_array("bf.fbf", impl)
         assert array.f_position(0) == 1
         assert array.f_position(1) == 3
         assert array.f_position(2) == 5
@@ -55,16 +78,16 @@ class TestBasics:
         with pytest.raises(ValueError):
             array.f_index_of(0)
 
-    def test_token_rank_skips_empty_slots(self):
-        array = build_array("f.bf")
+    def test_token_rank_skips_empty_slots(self, impl):
+        array = build_array("f.bf", impl)
         assert array.token_rank(0) == 1
         assert array.token_rank(2) == 2
         assert array.token_rank(3) == 3
         with pytest.raises(ValueError):
             array.token_rank(1)
 
-    def test_element_at_rank(self):
-        array = build_array("ffff")
+    def test_element_at_rank(self, impl):
+        array = build_array("ffff", impl)
         array.put_element(1, 5)
         array.put_element(3, 9)
         assert array.element_at_rank(1) == 5
@@ -72,21 +95,21 @@ class TestBasics:
 
 
 class TestNearestDummy:
-    def test_prefers_closer_side_in_token_order(self):
-        array = build_array("bffb")
+    def test_prefers_closer_side_in_token_order(self, impl):
+        array = build_array("bffb", impl)
         array.put_element(1, 1)
         array.put_element(2, 2)
         assert array.nearest_dummy_buffer(1) == 0
         assert array.nearest_dummy_buffer(2) == 3
 
-    def test_returns_none_without_dummies(self):
-        array = build_array("ff")
+    def test_returns_none_without_dummies(self, impl):
+        array = build_array("ff", impl)
         assert array.nearest_dummy_buffer(0) is None
 
 
 class TestChainMove:
-    def test_simple_move_without_deadweight(self):
-        array = build_array("fbf")
+    def test_simple_move_without_deadweight(self, impl):
+        array = build_array("fbf", impl)
         array.put_element(0, 10)
         cost = array.chain_move(0, 1)
         assert cost == 1
@@ -95,10 +118,10 @@ class TestChainMove:
         assert array.f_contents() == [None, 10]
         array.check_consistency()
 
-    def test_rightward_move_shifts_buffered_elements(self):
+    def test_rightward_move_shifts_buffered_elements(self, impl):
         # Figure 2: an element hops over occupied buffer slots; the buffered
         # elements shift and are counted as deadweight.
-        array = build_array("fbbf")
+        array = build_array("fbbf", impl)
         array.put_element(0, 10)
         array.put_element(1, 20)
         array.put_element(2, 30)
@@ -109,8 +132,8 @@ class TestChainMove:
         assert array.f_contents() == [None, 10]
         array.check_consistency()
 
-    def test_leftward_move_shifts_buffered_elements(self):
-        array = build_array("fbbf")
+    def test_leftward_move_shifts_buffered_elements(self, impl):
+        array = build_array("fbbf", impl)
         array.put_element(3, 40)
         array.put_element(1, 20)
         array.put_element(2, 30)
@@ -120,8 +143,8 @@ class TestChainMove:
         assert array.f_contents() == [40, None]
         array.check_consistency()
 
-    def test_incorporation_from_buffer_slot(self):
-        array = build_array("fbf")
+    def test_incorporation_from_buffer_slot(self, impl):
+        array = build_array("fbf", impl)
         array.put_element(0, 10)
         array.put_element(1, 15)  # buffered element
         cost = array.chain_move(1, 1)  # incorporate at F-index 1
@@ -131,8 +154,8 @@ class TestChainMove:
         assert array.dummy_buffer_count == 1
         array.check_consistency()
 
-    def test_kind_counts_preserved(self):
-        array = build_array("fbbfbf")
+    def test_kind_counts_preserved(self, impl):
+        array = build_array("fbbfbf", impl)
         array.put_element(0, 1)
         array.put_element(1, 2)
         array.put_element(2, 3)
@@ -141,17 +164,39 @@ class TestChainMove:
         assert (array.f_slot_count, array.buffer_count) == before
         array.check_consistency()
 
-    def test_move_onto_occupied_f_slot_rejected(self):
-        array = build_array("ff")
+    def test_move_onto_occupied_f_slot_rejected(self, impl):
+        array = build_array("ff", impl)
         array.put_element(0, 1)
         array.put_element(1, 2)
         with pytest.raises(InvariantViolation):
             array.chain_move(0, 1)
 
+    def test_long_sparse_chain_matches_between_implementations(self):
+        # A span far above the scan cutoff forces the slab's Fenwick-guided
+        # chain path; the reference executes the same move with its scans.
+        spec = ["."] * 512
+        for position in (0, 2, 4):
+            spec[position] = "f"
+        for position in (1, 3, 100, 300):
+            spec[position] = "b"
+        spec[500] = "f"
+        spec = "".join(spec)
+        results = {}
+        for name, cls in IMPLEMENTATIONS.items():
+            array = build_array(spec, cls)
+            array.put_element(0, "pivot")
+            array.put_element(100, "rider")
+            sink: list[Move] = []
+            array.move_sink = sink
+            cost = array.chain_move(0, 3)  # rightmost F label: position 500
+            array.move_sink = None
+            results[name] = (cost, sink, array.kinds(), array.slots())
+        assert results["slab"] == results["reference"]
+
 
 class TestShellReplay:
-    def test_placement_and_removal(self):
-        array = build_array("f..")
+    def test_placement_and_removal(self, impl):
+        array = build_array("f..", impl)
         cost = array.apply_shell_moves([Move("token-1", None, 1)])
         assert cost == 0
         assert array.kind(1) == BUFFER
@@ -159,8 +204,8 @@ class TestShellReplay:
         assert cost == 0
         assert array.kind(1) == R_EMPTY
 
-    def test_token_move_carries_content(self):
-        array = build_array("f.b")
+    def test_token_move_carries_content(self, impl):
+        array = build_array("f.b", impl)
         array.put_element(0, 10)
         cost = array.apply_shell_moves([Move("token-f", 0, 1)])
         assert cost == 1
@@ -168,13 +213,13 @@ class TestShellReplay:
         assert array.kind(1) == F_SLOT
         assert array.position_of(10) == 1
 
-    def test_move_onto_nonempty_rejected(self):
-        array = build_array("fb")
+    def test_move_onto_nonempty_rejected(self, impl):
+        array = build_array("fb", impl)
         with pytest.raises(InvariantViolation):
             array.apply_shell_moves([Move("t", 0, 1)])
 
-    def test_remove_and_replace_token_restores_content(self):
-        array = build_array("f..")
+    def test_remove_and_replace_token_restores_content(self, impl):
+        array = build_array("f..", impl)
         array.put_element(0, 7)
         cost = array.apply_shell_moves(
             [Move("token", 0, None), Move("token", None, 2)]

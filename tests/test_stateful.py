@@ -1,0 +1,201 @@
+"""Hypothesis stateful machines for the sharding engine and unbounded map.
+
+Two :class:`~hypothesis.stateful.RuleBasedStateMachine`\\ s drive the
+production composites through randomized rule sequences —
+singleton inserts/deletes, whole batches, and bursts engineered to force
+shard splits and merges — and run the full structural consistency check
+(directory vs shard sizes, density policy, physical order, reference-model
+contents) after **every** rule via an invariant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.algorithms import ClassicalPMA
+from repro.applications.ordered_map import PackedMemoryMap
+from repro.core.sharded import ShardedLabeler
+from repro.core.validation import check_labeler
+
+#: Small shards so a handful of rules crosses split/merge boundaries.
+SHARD_CAPACITY = 16
+
+
+def _midpoint(reference: list[Fraction], rank: int) -> Fraction:
+    lower = reference[rank - 2] if rank >= 2 else None
+    upper = reference[rank - 1] if rank - 1 < len(reference) else None
+    if lower is None and upper is None:
+        return Fraction(0)
+    if lower is None:
+        return upper - 1
+    if upper is None:
+        return lower + 1
+    return (lower + upper) / 2
+
+
+class ShardedMachine(RuleBasedStateMachine):
+    """Insert/delete/batch/burst rules against a ``ShardedLabeler``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.labeler = ShardedLabeler(
+            lambda capacity: ClassicalPMA(capacity),
+            shard_capacity=SHARD_CAPACITY,
+        )
+        self.reference: list[Fraction] = []
+
+    # -- rules ---------------------------------------------------------
+    @rule(data=st.data())
+    def insert_one(self, data):
+        rank = data.draw(
+            st.integers(1, len(self.reference) + 1), label="insert rank"
+        )
+        key = _midpoint(self.reference, rank)
+        self.labeler.insert(rank, key)
+        self.reference.insert(rank - 1, key)
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def delete_one(self, data):
+        rank = data.draw(st.integers(1, len(self.reference)), label="delete rank")
+        self.labeler.delete(rank)
+        self.reference.pop(rank - 1)
+
+    @rule(data=st.data())
+    def insert_batch(self, data):
+        size = len(self.reference)
+        ranks = data.draw(
+            st.lists(st.integers(1, size + 1), min_size=1, max_size=12),
+            label="batch ranks (pre-batch)",
+        )
+        ranks.sort()
+        items = []
+        merged = list(self.reference)
+        for offset, rank in enumerate(ranks):
+            key = _midpoint(merged, rank + offset)
+            items.append((rank, key))
+            merged.insert(rank + offset - 1, key)
+        self.labeler.insert_batch(items)
+        self.reference = merged
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def delete_batch(self, data):
+        size = len(self.reference)
+        ranks = data.draw(
+            st.lists(
+                st.integers(1, size), min_size=1, max_size=min(12, size), unique=True
+            ),
+            label="delete ranks (pre-batch)",
+        )
+        self.labeler.delete_batch(ranks)
+        for rank in sorted(ranks, reverse=True):
+            self.reference.pop(rank - 1)
+
+    @rule(data=st.data())
+    def split_burst(self, data):
+        """Hammer one rank until at least one shard split fires."""
+        rank = data.draw(
+            st.integers(1, len(self.reference) + 1), label="burst rank"
+        )
+        splits_before = self.labeler.splits
+        for _ in range(SHARD_CAPACITY):
+            key = _midpoint(self.reference, rank)
+            self.labeler.insert(rank, key)
+            self.reference.insert(rank - 1, key)
+            if self.labeler.splits > splits_before:
+                break
+
+    @precondition(lambda self: len(self.reference) > SHARD_CAPACITY)
+    @rule()
+    def merge_burst(self):
+        """Drain from the front until a merge (or a single shard remains)."""
+        merges_before = self.labeler.merges
+        for _ in range(2 * SHARD_CAPACITY):
+            if not self.reference or self.labeler.shard_count == 1:
+                break
+            self.labeler.delete(1)
+            self.reference.pop(0)
+            if self.labeler.merges > merges_before:
+                break
+
+    # -- invariant: full consistency after every rule ------------------
+    @invariant()
+    def consistent(self):
+        self.labeler.check_consistency()
+        assert self.labeler.elements() == self.reference
+        assert len(self.labeler) == len(self.reference)
+        if self.reference:
+            check_labeler(self.labeler, expected=self.reference)
+
+
+class PackedMemoryMapMachine(RuleBasedStateMachine):
+    """Mapping rules against the unbounded ``PackedMemoryMap(capacity=None)``."""
+
+    keys = st.integers(0, 200)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.map = PackedMemoryMap(capacity=None, shard_capacity=SHARD_CAPACITY)
+        self.model: dict[int, int] = {}
+        self._values = itertools.count()
+
+    @rule(key=keys)
+    def set_item(self, key):
+        value = next(self._values)
+        self.map[key] = value
+        self.model[key] = value
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def delete_item(self, data):
+        key = data.draw(
+            st.sampled_from(sorted(self.model)), label="key to delete"
+        )
+        del self.map[key]
+        del self.model[key]
+
+    @rule(items=st.lists(st.tuples(keys, st.integers()), max_size=24))
+    def bulk_update(self, items):
+        inserted = self.map.update_many(items)
+        fresh = {key for key, _ in items} - set(self.model)
+        assert inserted == len(fresh)
+        for key, value in items:
+            self.model[key] = value
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def point_queries(self, data):
+        key = data.draw(st.sampled_from(sorted(self.model)), label="probe key")
+        assert self.map[key] == self.model[key]
+        assert key in self.map
+        expected_rank = sorted(self.model).index(key)
+        assert self.map.keys()[expected_rank] == key
+
+    @invariant()
+    def consistent(self):
+        self.map.check()
+        labeler = self.map.labeler
+        labeler.check_consistency()
+        assert self.map.keys() == sorted(self.model)
+        assert len(self.map) == len(self.model)
+
+
+_settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None
+)
+
+TestShardedMachine = ShardedMachine.TestCase
+TestShardedMachine.settings = _settings
+
+TestPackedMemoryMapMachine = PackedMemoryMapMachine.TestCase
+TestPackedMemoryMapMachine.settings = _settings
