@@ -56,6 +56,22 @@ class AdaptivePMA(ClassicalPMA):
         super()._insert_impl(rank, element)
 
     # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _snapshot_extra(self) -> dict:
+        extra = super()._snapshot_extra()
+        # The decayed hit counters steer every future rebalance, so they are
+        # part of the behaviour-relevant state a recovery must reproduce.
+        extra["adaptive"] = {"leaf_hits": list(self._leaf_hits)}
+        return extra
+
+    def _restore_extra(self, extra: dict) -> None:
+        super()._restore_extra(extra)
+        state = extra.get("adaptive")
+        if state:
+            self._leaf_hits = [float(hit) for hit in state["leaf_hits"]]
+
+    # ------------------------------------------------------------------
     # Skewed redistribution
     # ------------------------------------------------------------------
     def _rebalance_targets(

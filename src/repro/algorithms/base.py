@@ -302,6 +302,63 @@ class DenseArrayLabeler(ListLabeler):
         for index in fresh:
             self._place(targets[index], contents[index])
 
+    # ------------------------------------------------------------------
+    # Serialization (snapshot / restore)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Exact physical state: slot assignments plus algorithm extras.
+
+        Unlike the ``"elements"`` fallback of the interface, the ``"dense"``
+        format records the slot of every element, so a restore reproduces
+        the physical array bit-for-bit.  Subclasses contribute whatever
+        hidden state influences future behaviour (RNG state, pending
+        rebalance tasks, hotspot counters) through :meth:`_snapshot_extra`,
+        which is what makes snapshot + WAL-tail replay land in the same
+        state as the uninterrupted run.
+        """
+        return {
+            "format": "dense",
+            "size": self._size,
+            "num_slots": self._num_slots,
+            "capacity": self._capacity,
+            "layout": [
+                [index, element]
+                for index, element in enumerate(self._slots)
+                if element is not None
+            ],
+            "extra": self._snapshot_extra(),
+        }
+
+    def restore(self, state: dict) -> None:
+        if state.get("format") != "dense":
+            super().restore(state)
+            return
+        if self._size:
+            raise RuntimeError("restore requires an empty structure")
+        if state["num_slots"] != self._num_slots or state["capacity"] != self._capacity:
+            raise ValueError(
+                f"snapshot geometry (capacity {state['capacity']}, "
+                f"{state['num_slots']} slots) does not match this instance "
+                f"(capacity {self._capacity}, {self._num_slots} slots)"
+            )
+        for index, element in state["layout"]:
+            if self._slots[index] is not None:
+                raise ValueError(f"snapshot assigns slot {index} twice")
+            self._slots[index] = element
+            self._occupancy.set(index, 1)
+            self._position[element] = index
+        self._size = len(state["layout"])
+        if self._size != state["size"]:
+            raise ValueError("snapshot layout does not match its recorded size")
+        self._restore_extra(state.get("extra") or {})
+
+    def _snapshot_extra(self) -> dict:
+        """Algorithm-specific hidden state; subclasses extend the dict."""
+        return {}
+
+    def _restore_extra(self, extra: dict) -> None:
+        """Reinstall what :meth:`_snapshot_extra` recorded."""
+
     def bulk_load(self, elements) -> int:
         """Load sorted ``elements`` into an empty array with even spacing.
 

@@ -232,6 +232,28 @@ class ClassicalPMA(DenseArrayLabeler):
         self.rebalances_by_level[level] = self.rebalances_by_level.get(level, 0) + 1
 
     # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _snapshot_extra(self) -> dict:
+        extra = super()._snapshot_extra()
+        extra["pma"] = {
+            "rebalance_count": self.rebalance_count,
+            "rebalance_moves": self.rebalance_moves,
+            "rebalances_by_level": sorted(self.rebalances_by_level.items()),
+        }
+        return extra
+
+    def _restore_extra(self, extra: dict) -> None:
+        super()._restore_extra(extra)
+        pma = extra.get("pma")
+        if pma:
+            self.rebalance_count = pma["rebalance_count"]
+            self.rebalance_moves = pma["rebalance_moves"]
+            self.rebalances_by_level = {
+                int(level): count for level, count in pma["rebalances_by_level"]
+            }
+
+    # ------------------------------------------------------------------
     # Deletion
     # ------------------------------------------------------------------
     def _delete(self, rank: int) -> OperationResult:

@@ -191,6 +191,48 @@ class DeamortizedPMA(ClassicalPMA):
                 self._tasks.append(self._build_task(level, lo, hi))
                 return
 
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _snapshot_extra(self) -> dict:
+        extra = super()._snapshot_extra()
+        # The frozen task queues decide which background moves future
+        # operations will spend their budget on — without them a recovered
+        # structure would drift from the uninterrupted run on the very next
+        # operation.
+        extra["deamortized"] = {
+            "tasks": [
+                {
+                    "level": task.level,
+                    "lo": task.lo,
+                    "hi": task.hi,
+                    "queue": [[element, target] for element, target in task.queue],
+                }
+                for task in self._tasks
+            ],
+            "forced_rebalances": self.forced_rebalances,
+            "background_moves": self.background_moves,
+        }
+        return extra
+
+    def _restore_extra(self, extra: dict) -> None:
+        super()._restore_extra(extra)
+        state = extra.get("deamortized")
+        if state:
+            self._tasks = [
+                RebalanceTask(
+                    level=task["level"],
+                    lo=task["lo"],
+                    hi=task["hi"],
+                    queue=deque(
+                        (element, target) for element, target in task["queue"]
+                    ),
+                )
+                for task in state["tasks"]
+            ]
+            self.forced_rebalances = state["forced_rebalances"]
+            self.background_moves = state["background_moves"]
+
     def _task_covering(self, lo: int, hi: int) -> RebalanceTask | None:
         for task in self._tasks:
             if task.lo <= lo and hi <= task.hi:

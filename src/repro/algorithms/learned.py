@@ -64,6 +64,25 @@ class LearnedLabeler(ClassicalPMA):
         return max(0, min(self.num_slots - 1, slot))
 
     # ------------------------------------------------------------------
+    def _snapshot_extra(self) -> dict:
+        extra = super()._snapshot_extra()
+        # The predictor itself is rebuilt by the owning factory on restore
+        # (it is training data, not runtime state); only the steering
+        # statistics need to survive.
+        extra["learned"] = {
+            "steered_placements": self.steered_placements,
+            "fallback_placements": self.fallback_placements,
+        }
+        return extra
+
+    def _restore_extra(self, extra: dict) -> None:
+        super()._restore_extra(extra)
+        state = extra.get("learned")
+        if state:
+            self.steered_placements = state["steered_placements"]
+            self.fallback_placements = state["fallback_placements"]
+
+    # ------------------------------------------------------------------
     def _insert_impl(self, rank: int, element: Hashable) -> None:
         steered = self._steered_insert(rank, element)
         if steered:

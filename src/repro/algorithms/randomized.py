@@ -72,6 +72,26 @@ class RandomizedPMA(ClassicalPMA):
             del self._level_offsets[level]
 
     # ------------------------------------------------------------------
+    def _snapshot_extra(self) -> dict:
+        extra = super()._snapshot_extra()
+        version, internal, gauss = self._rng.getstate()
+        extra["randomized"] = {
+            "rng_state": [version, list(internal), gauss],
+            "level_offsets": sorted(self._level_offsets.items()),
+        }
+        return extra
+
+    def _restore_extra(self, extra: dict) -> None:
+        super()._restore_extra(extra)
+        state = extra.get("randomized")
+        if state:
+            version, internal, gauss = state["rng_state"]
+            self._rng.setstate((version, tuple(internal), gauss))
+            self._level_offsets = {
+                int(level): offset for level, offset in state["level_offsets"]
+            }
+
+    # ------------------------------------------------------------------
     def _rebalance_targets(
         self,
         lo: int,

@@ -16,6 +16,14 @@ batch through :meth:`CostTracker.record_batch`.  Both modes maintain the
 reference model as a :class:`repro.analysis.reference.ChunkedList` — a
 blocked sorted list with ``O(√n)`` point updates — instead of a flat Python
 list whose ``O(n)`` ``insert`` dominated wall-clock at scale.
+
+**Durable mode.**  Passing ``durable_dir`` write-ahead logs every applied
+operation — with its synthesized key, and batches as single atomic frames —
+into ``<durable_dir>/run-wal.jsonl`` through the store's
+:class:`~repro.store.wal.WriteAheadLog` *before* it reaches the structure.
+An interrupted run's acknowledged prefix can then be reproduced exactly on
+a fresh structure with :func:`replay_run`, which is the same op-framing the
+durable store uses for crash recovery.
 """
 
 from __future__ import annotations
@@ -46,6 +54,10 @@ class RunResult:
     final_keys: list[Hashable] = field(default_factory=list)
     #: Batch size the run used (1 = singleton execution).
     batch_size: int = 1
+    #: Frames written to the durable run log (0 = durable mode off).
+    wal_frames: int = 0
+    #: Path of the durable run log, when one was written.
+    durable_path: str | None = None
 
     @property
     def amortized_cost(self) -> float:
@@ -87,6 +99,39 @@ class RunResult:
         return data
 
 
+#: File name of the durable run log inside ``durable_dir``.
+RUN_WAL_FILENAME = "run-wal.jsonl"
+
+
+class _RunJournal:
+    """Write-ahead framing of a run's applied operations (durable mode)."""
+
+    def __init__(self, durable_dir, sync_policy: str) -> None:
+        from pathlib import Path
+
+        from repro.store.wal import WriteAheadLog
+
+        directory = Path(durable_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.path = directory / RUN_WAL_FILENAME
+        self.wal = WriteAheadLog(self.path, sync_policy=sync_policy)
+        report = self.wal.open()
+        if report.frames:
+            self.wal.close()
+            raise ValueError(
+                f"durable run log {self.path} already holds "
+                f"{len(report.frames)} frame(s); replay or remove it first"
+            )
+        self.frames = 0
+
+    def log(self, op: str, payload: dict) -> None:
+        self.wal.append(op, payload)
+        self.frames += 1
+
+    def close(self) -> None:
+        self.wal.close()
+
+
 def run_workload(
     labeler: ListLabeler,
     workload: Workload,
@@ -94,6 +139,8 @@ def run_workload(
     validate_every: int = 0,
     stop_after: int | None = None,
     batch_size: int = 1,
+    durable_dir=None,
+    durable_sync: str = "batch",
 ) -> RunResult:
     """Run ``workload`` against ``labeler`` and record the move costs.
 
@@ -103,11 +150,16 @@ def run_workload(
     workload, which lets one workload definition serve several sweep sizes.
     ``batch_size`` > 1 switches to batched execution: operations are grouped
     into same-kind batches of up to that many and forwarded through
-    ``insert_batch`` / ``delete_batch``.
+    ``insert_batch`` / ``delete_batch``.  ``durable_dir`` write-ahead logs
+    every applied operation (see the module docstring); ``durable_sync``
+    sets the log's fsync policy (``"always"``/``"batch"``/``"never"``).
     """
     tracker = CostTracker()
     reference = ChunkedList(
         block_size=max(8, math.isqrt(max(1, workload.operations)))
+    )
+    journal = (
+        _RunJournal(durable_dir, durable_sync) if durable_dir is not None else None
     )
     # Sharded structures log their splits/merges; only events appended
     # during this run are attributed to it.
@@ -115,19 +167,25 @@ def run_workload(
     restructures_before = len(restructure_log) if restructure_log is not None else 0
     started = time.perf_counter()
 
-    if batch_size > 1:
-        _run_batched(
-            labeler, workload, tracker, reference,
-            batch_size=batch_size,
-            validate_every=validate_every,
-            stop_after=stop_after,
-        )
-    else:
-        _run_singleton(
-            labeler, workload, tracker, reference,
-            validate_every=validate_every,
-            stop_after=stop_after,
-        )
+    try:
+        if batch_size > 1:
+            _run_batched(
+                labeler, workload, tracker, reference,
+                batch_size=batch_size,
+                validate_every=validate_every,
+                stop_after=stop_after,
+                journal=journal,
+            )
+        else:
+            _run_singleton(
+                labeler, workload, tracker, reference,
+                validate_every=validate_every,
+                stop_after=stop_after,
+                journal=journal,
+            )
+    finally:
+        if journal is not None:
+            journal.close()
 
     elapsed = time.perf_counter() - started
     if restructure_log is not None:
@@ -140,6 +198,58 @@ def run_workload(
         elapsed_seconds=elapsed,
         final_keys=reference.to_list(),
         batch_size=max(1, batch_size),
+        wal_frames=journal.frames if journal is not None else 0,
+        durable_path=str(journal.path) if journal is not None else None,
+    )
+
+
+def replay_run(durable_dir, labeler: ListLabeler) -> RunResult:
+    """Reapply a durable run log to a fresh structure.
+
+    Replays the acknowledged frames of a (possibly interrupted) durable
+    run in order — singleton inserts/deletes with their recorded keys,
+    batch frames through the batch API — and returns a :class:`RunResult`
+    measuring the replay.  With the same starting structure this
+    reproduces the original run's state exactly.
+    """
+    from pathlib import Path
+
+    from repro.store.wal import WriteAheadLog
+
+    path = Path(durable_dir) / RUN_WAL_FILENAME
+    if not path.exists():
+        # Opening would create an empty log as a side effect and report a
+        # "successful" zero-op replay — a mistyped directory must fail.
+        raise FileNotFoundError(f"no durable run log at {path}")
+    wal = WriteAheadLog(path, sync_policy="never")
+    report = wal.open()
+    wal.close()
+    tracker = CostTracker()
+    started = time.perf_counter()
+    for frame in report.frames:
+        op = frame["op"]
+        if op == "ins":
+            tracker.record(labeler.insert(frame["rank"], frame["key"]).cost)
+        elif op == "del":
+            tracker.record(labeler.delete(frame["rank"]).cost)
+        elif op == "ins_batch":
+            items = [(rank, key) for rank, key in frame["items"]]
+            result = labeler.insert_batch(items)
+            tracker.record_batch(result.cost, result.count)
+        elif op == "del_batch":
+            result = labeler.delete_batch(frame["ranks"])
+            tracker.record_batch(result.cost, result.count)
+        else:
+            raise ValueError(f"unknown run-log op {op!r}")
+    elapsed = time.perf_counter() - started
+    return RunResult(
+        labeler=labeler,
+        workload_name=f"replay({path})",
+        tracker=tracker,
+        elapsed_seconds=elapsed,
+        final_keys=list(labeler.elements()),
+        wal_frames=len(report.frames),
+        durable_path=str(path),
     )
 
 
@@ -157,6 +267,7 @@ def _run_singleton(
     *,
     validate_every: int,
     stop_after: int | None,
+    journal: _RunJournal | None = None,
 ) -> None:
     executed = 0
     for operation in workload:
@@ -166,9 +277,13 @@ def _run_singleton(
             key = operation.key
             if key is None:
                 key = synthesize_key(reference, operation.rank)
+            if journal is not None:
+                journal.log("ins", {"rank": operation.rank, "key": key})
             result = labeler.insert(operation.rank, key)
             reference.insert(operation.rank - 1, key)
         else:
+            if journal is not None:
+                journal.log("del", {"rank": operation.rank})
             result = labeler.delete(operation.rank)
             reference.pop(operation.rank - 1)
         tracker.record(result.cost)
@@ -186,6 +301,7 @@ def _run_batched(
     batch_size: int,
     validate_every: int,
     stop_after: int | None,
+    journal: _RunJournal | None = None,
 ) -> None:
     executed = 0
     next_check = validate_every if validate_every else None
@@ -197,9 +313,9 @@ def _run_batched(
         if not batch:
             continue
         if batch[0].is_insert:
-            result = _execute_insert_batch(labeler, reference, batch)
+            result = _execute_insert_batch(labeler, reference, batch, journal)
         else:
-            result = _execute_delete_batch(labeler, reference, batch)
+            result = _execute_delete_batch(labeler, reference, batch, journal)
         tracker.record_batch(result.cost, result.count)
         executed += len(batch)
         if next_check is not None and executed >= next_check:
@@ -208,7 +324,10 @@ def _run_batched(
 
 
 def _execute_insert_batch(
-    labeler: ListLabeler, reference: ChunkedList, batch: Sequence[Operation]
+    labeler: ListLabeler,
+    reference: ChunkedList,
+    batch: Sequence[Operation],
+    journal: _RunJournal | None = None,
 ):
     """Forward a run of insertions as one ``insert_batch`` call.
 
@@ -231,6 +350,8 @@ def _execute_insert_batch(
         positions.insert(index, sequential_rank)
         keys.insert(index, key)
     items = [(positions[j] - j, keys[j]) for j in range(len(keys))]
+    if journal is not None:
+        journal.log("ins_batch", {"items": [[rank, key] for rank, key in items]})
     result = labeler.insert_batch(items)
     for j, key in enumerate(keys):
         # Ascending final positions: all j earlier entries are already in,
@@ -276,7 +397,10 @@ def _synthesize_mid_batch(
 
 
 def _execute_delete_batch(
-    labeler: ListLabeler, reference: ChunkedList, batch: Sequence[Operation]
+    labeler: ListLabeler,
+    reference: ChunkedList,
+    batch: Sequence[Operation],
+    journal: _RunJournal | None = None,
 ):
     """Forward a run of deletions as one ``delete_batch`` call.
 
@@ -294,6 +418,8 @@ def _execute_delete_batch(
                 break
             pre_rank = shifted
         bisect.insort(deleted, pre_rank)
+    if journal is not None:
+        journal.log("del_batch", {"ranks": list(deleted)})
     result = labeler.delete_batch(deleted)
     for rank in reversed(deleted):
         reference.pop(rank - 1)

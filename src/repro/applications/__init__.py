@@ -11,10 +11,14 @@ in ranks directly:
   physical layout is any :class:`repro.core.interface.ListLabeler`;
 * :class:`~repro.applications.order_maintenance.OrderMaintenance` — the
   Dietz–Sleator order-maintenance interface (``insert_after``,
-  ``insert_before``, ``precedes``) implemented with list-labeling labels.
+  ``insert_before``, ``precedes``) implemented with list-labeling labels;
+* :class:`~repro.applications.ordered_map.DurableMap` — the clustered
+  index made crash-safe: a :class:`PackedMemoryMap` served through the
+  durable store (:mod:`repro.store`), with write-ahead logging, exact
+  layout checkpoints, and recovery on open.
 """
 
-from repro.applications.ordered_map import PackedMemoryMap
+from repro.applications.ordered_map import DurableMap, PackedMemoryMap
 from repro.applications.order_maintenance import OrderMaintenance
 
-__all__ = ["OrderMaintenance", "PackedMemoryMap"]
+__all__ = ["DurableMap", "OrderMaintenance", "PackedMemoryMap"]

@@ -16,6 +16,12 @@ one shard.  Bulk ingestion goes through :meth:`PackedMemoryMap.update_many`,
 which forwards one pre-batch-rank ``insert_batch`` to the labeler — the
 batch engine's merged rebalances make sorted loads far cheaper than
 key-at-a-time insertion.
+
+:class:`DurableMap` is the same clustered index made crash-safe: it
+delegates to a :class:`repro.store.store.DurableStore`, so every update is
+write-ahead logged before it is applied, checkpoints capture the exact
+per-shard physical layout, and reopening the map recovers the state of the
+last durable operation (see :mod:`repro.store`).
 """
 
 from __future__ import annotations
@@ -132,6 +138,29 @@ class PackedMemoryMap:
         self._keys.pop(rank - 1)
         del self._values[key]
 
+    def delete_many(self, keys: Iterable[Hashable]) -> int:
+        """Bulk delete: one batched labeler call for all named keys.
+
+        All-or-nothing like :meth:`update_many`: every key must be present
+        (``KeyError`` raised before any mutation otherwise).  Duplicate
+        keys in the iterable are collapsed.  Returns the number of deleted
+        keys.
+        """
+        targets = sorted(set(keys))
+        for key in targets:
+            if key not in self._values:
+                raise KeyError(key)
+        if not targets:
+            return 0
+        ranks = [bisect.bisect_left(self._keys, key) + 1 for key in targets]
+        result = self._labeler.delete_batch(ranks)
+        self.costs.record_batch(result.cost, result.count)
+        for rank in reversed(ranks):
+            self._keys.pop(rank - 1)
+        for key in targets:
+            del self._values[key]
+        return len(targets)
+
     # ------------------------------------------------------------------
     # Ordered queries
     # ------------------------------------------------------------------
@@ -176,3 +205,131 @@ class PackedMemoryMap:
         """Validate that the physical layout matches the logical contents."""
         if list(self._labeler.elements()) != self._keys:
             raise AssertionError("physical layout diverged from the key set")
+
+    # ------------------------------------------------------------------
+    # Serialization (the durable store's checkpoint unit)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Labeler snapshot plus the ``[key, value]`` entries in key order."""
+        return {
+            "labeler": self._labeler.snapshot(),
+            "entries": [[key, self._values[key]] for key in self._keys],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot_state` document into this empty map.
+
+        Empty-state round-trips are first-class: restoring the snapshot of
+        an empty map yields a map whose iteration paths (:meth:`keys`,
+        :meth:`items`, :meth:`range`) and consistency checks all work, and
+        which accepts insertions immediately.
+        """
+        if self._keys:
+            raise RuntimeError("restore_state requires an empty map")
+        self._labeler.restore(state["labeler"])
+        entries = state["entries"]
+        self._keys = [key for key, _ in entries]
+        self._values = {key: value for key, value in entries}
+        if list(self._labeler.elements()) != self._keys:
+            raise RuntimeError(
+                "restored labeler layout does not match the snapshot's keys"
+            )
+
+
+class DurableMap:
+    """A crash-safe :class:`PackedMemoryMap`: the clustered index, persisted.
+
+    Same sorted-mapping interface, but every update is write-ahead logged
+    and the physical layout is checkpointed, so reopening the same
+    directory recovers the exact map (keys, values, labels, per-shard
+    layout) of the last durable operation::
+
+        with DurableMap("/tmp/index") as index:
+            index["alice"] = 1
+            index.update_many([("bob", 2), ("carol", 3)])
+            index.checkpoint()            # snapshot + WAL truncation
+
+        reopened = DurableMap("/tmp/index")   # runs recovery
+        assert reopened.keys() == ["alice", "bob", "carol"]
+
+    Constructor keywords are forwarded to
+    :class:`repro.store.store.DurableStore` (``algorithm``,
+    ``shard_capacity``, ``sync_policy``, ``compact_every``, …).
+    """
+
+    def __init__(self, directory, **store_kwargs) -> None:
+        # Imported lazily: repro.store builds on this module's
+        # PackedMemoryMap, so a top-level import would be circular.
+        from repro.store.store import DurableStore
+
+        self._store = DurableStore(directory, **store_kwargs)
+
+    # -- mapping interface ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key) -> bool:
+        return key in self._store
+
+    def __getitem__(self, key):
+        return self._store[key]
+
+    def get(self, key, default=None):
+        return self._store.get(key, default)
+
+    def __setitem__(self, key, value) -> None:
+        self._store.put(key, value)
+
+    def __delitem__(self, key) -> None:
+        self._store.delete(key)
+
+    def update_many(self, items: Iterable[tuple[Hashable, object]]) -> int:
+        return self._store.put_many(items)
+
+    def delete_many(self, keys: Iterable[Hashable]) -> int:
+        return self._store.delete_many(keys)
+
+    # -- ordered queries (delegated to the in-memory map) --------------
+    def keys(self) -> list:
+        return self._store.keys()
+
+    def items(self) -> Iterator[tuple]:
+        return self._store.items()
+
+    def range(self, low, high) -> Iterator[tuple]:
+        return self._store.range(low, high)
+
+    def predecessor(self, key):
+        return self._store.map.predecessor(key)
+
+    def successor(self, key):
+        return self._store.map.successor(key)
+
+    def label_of(self, key) -> int:
+        return self._store.map.label_of(key)
+
+    # -- durability ----------------------------------------------------
+    @property
+    def store(self):
+        return self._store
+
+    @property
+    def recovery(self):
+        """The :class:`~repro.store.store.RecoveryReport` of this open."""
+        return self._store.recovery
+
+    def checkpoint(self) -> int:
+        """Snapshot the exact layout and truncate the WAL behind it."""
+        return self._store.compact()
+
+    def check(self) -> None:
+        self._store.verify()
+
+    def close(self) -> None:
+        self._store.close()
+
+    def __enter__(self) -> "DurableMap":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

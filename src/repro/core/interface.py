@@ -268,6 +268,46 @@ class ListLabeler(abc.ABC):
             total += self.insert(index + 1, element).cost
         return total
 
+    # ------------------------------------------------------------------
+    # Serialization (snapshot / restore)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A pure-Python description of the structure's current state.
+
+        The returned document contains only dicts, lists and the stored
+        elements themselves (as leaves), so a codec that knows how to encode
+        the elements can persist it — this is what the durable store
+        (:mod:`repro.store`) writes into its per-shard snapshot files.
+
+        The default format, ``"elements"``, records the element sequence
+        only; :meth:`restore` rebuilds it via :meth:`bulk_load`, which yields
+        a *valid* (evenly laid out) state but not necessarily the exact slot
+        assignment this instance currently has.  Structures whose physical
+        layout must survive a round-trip exactly override both hooks (every
+        dense array algorithm and the sharding engine do).
+        """
+        return {
+            "format": "elements",
+            "size": self._size,
+            "elements": list(self.elements()),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot` document into this (empty) structure.
+
+        The default handles the ``"elements"`` format by bulk-loading the
+        recorded sequence.  Raises :class:`LabelerError` when the structure
+        is not empty or the format is not recognized.
+        """
+        if self._size:
+            raise LabelerError("restore requires an empty structure")
+        if state.get("format") != "elements":
+            raise LabelerError(
+                f"{type(self).__name__} cannot restore snapshot format "
+                f"{state.get('format')!r}"
+            )
+        self.bulk_load(state["elements"])
+
     _fresh_counter = 0
 
     def _fresh_element(self) -> str:

@@ -157,8 +157,8 @@ class ShardedLabeler(ListLabeler):
             "splits": float(self.splits),
             "merges": float(self.merges),
             "restructure_moves": float(self.restructure_moves),
-            "max_shard_size": float(max(sizes)),
-            "min_shard_size": float(min(sizes)),
+            "max_shard_size": float(max(sizes, default=0)),
+            "min_shard_size": float(min(sizes, default=0)),
         }
 
     def _rebuild_directory(self) -> None:
@@ -462,6 +462,72 @@ class ShardedLabeler(ListLabeler):
         return total
 
     # ------------------------------------------------------------------
+    # Serialization (snapshot / restore)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Per-shard snapshot: one entry per shard, plus engine counters.
+
+        Each shard contributes its own :meth:`ListLabeler.snapshot`
+        document (exact dense layout for every registered algorithm), so a
+        restore reproduces not just the element sequence but the shard
+        boundaries and every shard's physical slot assignment — which is
+        what makes composed labels identical after recovery.
+        """
+        return {
+            "format": "sharded",
+            "size": self._size,
+            "shard_capacity": self._shard_capacity,
+            "shards": [shard.snapshot() for shard in self._shards],
+            "counters": {
+                "splits": self.splits,
+                "merges": self.merges,
+                "restructure_moves": self.restructure_moves,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstall a :meth:`snapshot` document into this (empty) engine.
+
+        Empty-state round-trips are first-class: restoring a snapshot with
+        no shards (or only empty shards) leaves the engine with its single
+        fresh shard, exactly like a newly constructed instance, so
+        ``snapshot → restore → insert`` works from any state and
+        :meth:`check_consistency` holds immediately after the restore.
+        """
+        if state.get("format") != "sharded":
+            super().restore(state)
+            return
+        if self._size:
+            raise LabelerError("restore requires an empty structure")
+        if state["shard_capacity"] != self._shard_capacity:
+            raise LabelerError(
+                f"snapshot shard capacity {state['shard_capacity']} does not "
+                f"match this engine's {self._shard_capacity}"
+            )
+        shards: list[ListLabeler] = []
+        for shard_state in state["shards"]:
+            shard = self._shard_factory(self._shard_capacity)
+            shard.restore(shard_state)
+            shards.append(shard)
+        if not shards:
+            # A zero-shard engine would break every rank-routing path; the
+            # canonical empty state is one fresh shard (the constructor's).
+            shards = [self._shard_factory(self._shard_capacity)]
+        self._shards = shards
+        self._rebuild_directory()
+        self._size = sum(len(shard) for shard in shards)
+        if self._size != state["size"]:
+            raise LabelerError(
+                f"snapshot records {state['size']} element(s) but its shards "
+                f"hold {self._size}"
+            )
+        counters = state.get("counters") or {}
+        self.splits = counters.get("splits", 0)
+        self.merges = counters.get("merges", 0)
+        self.restructure_moves = counters.get("restructure_moves", 0)
+        self.restructure_log = []
+
+    # ------------------------------------------------------------------
     # Physical views
     # ------------------------------------------------------------------
     def slots(self) -> Sequence[Hashable | None]:
@@ -517,7 +583,10 @@ class ShardedLabeler(ListLabeler):
     @property
     def label_shift(self) -> int:
         """Bits reserved for the local label in a composed global label."""
-        return max(shard.num_slots for shard in self._shards).bit_length()
+        return max(
+            (shard.num_slots for shard in self._shards),
+            default=self._shard_capacity,
+        ).bit_length()
 
     def labels(self) -> dict[Hashable, int]:
         """Composed labels ``(shard_index << shift) | local_label``.

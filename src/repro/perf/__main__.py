@@ -7,15 +7,24 @@
       PYTHONPATH=src python -m repro.perf generate
 
 * ``compare [--quick] [--suite ...] [--baseline-dir DIR] [--tolerance F]
-  [--dump-dir DIR]`` regenerates the suites in memory and diffs them
-  against the committed files.  Exits ``1`` on any failure — a move-count
-  regression beyond the tolerance (default 25%) or a slab/reference
-  move-log divergence.  ``--dump-dir`` also writes the fresh documents to
-  disk (before comparing, so a failing run still leaves an inspectable
-  artifact).  This is what the CI ``bench-baseline`` job runs (with
-  ``--quick --dump-dir bench-fresh``).
+  [--dump-dir DIR] [--no-trajectory]`` regenerates the suites in memory
+  and diffs them against the committed files.  Exits ``1`` on any failure
+  — a move-count regression beyond the tolerance (default 25%) or a
+  slab/reference move-log divergence.  ``--dump-dir`` also writes the
+  fresh documents to disk (before comparing, so a failing run still
+  leaves an inspectable artifact).  This is what the CI ``bench-baseline``
+  job runs (with ``--quick --dump-dir bench-fresh``).
 
-* ``show FILE...`` renders committed baseline files as tables.
+* **Trajectory.**  Both commands append a history record — the run's
+  deterministic cost metrics, plus the pass/fail outcome for compares —
+  to the ``trajectory`` list inside ``BENCH_<suite>.json`` (``compare``
+  updates the committed file in place; ``generate`` carries the existing
+  history forward into the refreshed file).  The baselines therefore
+  accumulate the measured cost trajectory across PRs instead of only
+  holding the latest run; ``--no-trajectory`` opts out.
+
+* ``show FILE...`` renders committed baseline files as tables (and the
+  tail of their trajectory).
 """
 
 from __future__ import annotations
@@ -29,10 +38,13 @@ from repro.perf.baseline import (
     DEFAULT_MOVE_TOLERANCE,
     DEFAULT_SEED,
     SUITES,
+    append_trajectory,
     baseline_filename,
     compare_baselines,
     generate_suite,
     load_baseline,
+    record_comparison_trajectory,
+    trajectory_entry,
     write_baseline,
 )
 
@@ -46,7 +58,13 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     for suite in _suites(args.suite):
         document = generate_suite(suite, quick=args.quick, seed=args.seed)
-        path = write_baseline(out_dir / baseline_filename(suite), document)
+        path = out_dir / baseline_filename(suite)
+        if path.exists() and not args.no_trajectory:
+            # A refresh replaces the numbers but keeps the measured
+            # history, extended with this run.
+            document["trajectory"] = load_baseline(path).get("trajectory", [])
+            append_trajectory(document, trajectory_entry(document, event="generate"))
+        path = write_baseline(path, document)
         print(f"wrote {path}")
         print(format_scenario_table(document))
         print()
@@ -75,6 +93,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         comparison = compare_baselines(
             baseline, fresh, move_tolerance=args.tolerance
         )
+        if not args.no_trajectory:
+            record_comparison_trajectory(path, fresh, comparison)
         interesting = [row for row in comparison.rows if row["status"] != "ok"]
         if interesting:
             print(format_table(interesting, title=f"[{suite}] drift vs {path.name}"))
@@ -97,6 +117,20 @@ def _cmd_show(args: argparse.Namespace) -> int:
     for name in args.files:
         document = load_baseline(name)
         print(format_scenario_table(document, title=str(name)))
+        history = document.get("trajectory", [])
+        if history:
+            print(f"trajectory: {len(history)} recorded run(s); last 5:")
+            for entry in history[-5:]:
+                outcome = ""
+                if "ok" in entry:
+                    outcome = " ok" if entry["ok"] else (
+                        f" FAIL({entry.get('failures', '?')})"
+                    )
+                print(
+                    f"  {entry.get('date', '?')} {entry.get('event', '?')} "
+                    f"seed={entry.get('seed')} quick={entry.get('quick')}"
+                    f"{outcome}"
+                )
         print()
     return 0
 
@@ -110,6 +144,11 @@ def main(argv: list[str] | None = None) -> int:
     generate.add_argument("--suite", choices=[*sorted(SUITES), "all"], default="all")
     generate.add_argument("--out", default=".", help="output directory")
     generate.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    generate.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="do not carry/extend the baseline's trajectory history",
+    )
     generate.set_defaults(func=_cmd_generate)
 
     compare = sub.add_parser("compare", help="diff a fresh run vs committed baselines")
@@ -121,6 +160,11 @@ def main(argv: list[str] | None = None) -> int:
         "--dump-dir",
         default=None,
         help="also write the fresh run's BENCH files here (CI artifact)",
+    )
+    compare.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="do not append this run to the baseline's trajectory history",
     )
     compare.set_defaults(func=_cmd_compare)
 

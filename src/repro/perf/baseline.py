@@ -27,8 +27,9 @@ sizes and :func:`compare_baselines` diffs the intersection:
 * move-count metrics (``moves``, ``total_moves``, ``reference_moves``,
   ``restructure_moves``) regressing by more than the tolerance (default
   25%) are **failures** — the comparator exits nonzero;
-* a ``moves_match: false`` (slab/reference move-log divergence) is always a
-  failure;
+* a false correctness flag — ``moves_match`` (slab/reference move-log
+  divergence) or ``recovered_match`` (a store recovery that did not
+  reproduce the pre-crash state) — is always a failure;
 * wall-clock metrics (``elapsed_seconds``, ``reference_elapsed_seconds``,
   ``speedup``, ``ops_per_second``) only ever **warn** — timings are
   machine-dependent, move counts are not.  The check is direction-aware:
@@ -46,7 +47,12 @@ import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.perf.scenarios import CORE_SCENARIOS, SHARDED_SCENARIOS, ScenarioSpec
+from repro.perf.scenarios import (
+    CORE_SCENARIOS,
+    SHARDED_SCENARIOS,
+    STORE_SCENARIOS,
+    ScenarioSpec,
+)
 
 SCHEMA_VERSION = 1
 
@@ -62,7 +68,11 @@ WALL_CLOCK_WARN_FACTOR = 1.5
 SUITES: dict[str, dict[str, ScenarioSpec]] = {
     "core": CORE_SCENARIOS,
     "sharded": SHARDED_SCENARIOS,
+    "store": STORE_SCENARIOS,
 }
+
+#: Entries kept in a baseline file's ``trajectory`` history list.
+TRAJECTORY_LIMIT = 200
 
 #: Metrics measured in element moves — the paper's cost model, and the only
 #: numbers the comparator treats as hard regressions.
@@ -76,6 +86,8 @@ WALL_CLOCK_METRICS = frozenset(
     {
         "elapsed_seconds",
         "reference_elapsed_seconds",
+        "recovery_elapsed_seconds",
+        "full_recovery_elapsed_seconds",
         "speedup",
         "ops_per_second",
     }
@@ -83,6 +95,13 @@ WALL_CLOCK_METRICS = frozenset(
 
 #: Wall-clock metrics where a *drop* (not a rise) signals degradation.
 _HIGHER_IS_BETTER = frozenset({"speedup", "ops_per_second"})
+
+#: Boolean correctness flags: anything but ``True`` in a fresh run is a
+#: hard failure, never a drift warning.
+_CORRECTNESS_FLAGS = {
+    "moves_match": "slab and reference move logs diverged",
+    "recovered_match": "recovered store diverged from the pre-crash state",
+}
 
 
 def baseline_filename(suite: str) -> str:
@@ -125,6 +144,70 @@ def write_baseline(path: str | Path, document: dict) -> Path:
 
 def load_baseline(path: str | Path) -> dict:
     return json.loads(Path(path).read_text())
+
+
+# ---------------------------------------------------------------------------
+# Trajectory: per-run history inside the committed baseline files
+# ---------------------------------------------------------------------------
+def trajectory_entry(
+    fresh: dict, *, event: str, comparison: "BaselineComparison | None" = None
+) -> dict:
+    """One history record summarizing a run of the suite.
+
+    Captures the deterministic cost metrics (moves and operation counts)
+    of every scenario/size the run produced, plus — for ``compare`` runs —
+    the comparison outcome.  Wall-clock values are deliberately excluded:
+    the history tracks the cost model across PRs, not machine speed.
+    """
+    metrics: dict[str, float] = {}
+    for name, entry in fresh.get("scenarios", {}).items():
+        for size, values in entry.get("sizes", {}).items():
+            for metric, value in values.items():
+                if metric in MOVE_METRICS or metric == "operations":
+                    metrics[f"{name}@{size}.{metric}"] = value
+    record: dict = {
+        "event": event,
+        "date": _today(),
+        "seed": fresh.get("seed"),
+        "quick": fresh.get("quick"),
+        "metrics": metrics,
+    }
+    if comparison is not None:
+        record["ok"] = comparison.ok
+        record["failures"] = len(comparison.failures)
+        record["warnings"] = len(comparison.warnings)
+    return record
+
+
+def _today() -> str:
+    import datetime
+
+    return datetime.date.today().isoformat()
+
+
+def append_trajectory(document: dict, entry: dict) -> None:
+    """Append ``entry`` to a baseline document's history (bounded length)."""
+    history = document.setdefault("trajectory", [])
+    history.append(entry)
+    del history[: max(0, len(history) - TRAJECTORY_LIMIT)]
+
+
+def record_comparison_trajectory(
+    path: str | Path, fresh: dict, comparison: "BaselineComparison"
+) -> None:
+    """Persist a ``compare`` run into the committed baseline's history.
+
+    This is what keeps the perf trajectory across PRs non-empty: every
+    ``python -m repro.perf compare`` leaves its deterministic cost numbers
+    (and pass/fail outcome) inside ``BENCH_<suite>.json``, so the file
+    carries the whole measured history, not just the latest refresh.
+    """
+    path = Path(path)
+    document = load_baseline(path)
+    append_trajectory(
+        document, trajectory_entry(fresh, event="compare", comparison=comparison)
+    )
+    write_baseline(path, document)
 
 
 def strip_wall_clock(document: dict) -> dict:
@@ -265,10 +348,10 @@ def _compare_metrics(
         if base_value is None or fresh_value is None:
             comparison.warnings.append(f"{label}: present on one side only")
             continue
-        if metric == "moves_match":
+        if metric in _CORRECTNESS_FLAGS:
             if fresh_value is not True:
                 comparison.failures.append(
-                    f"{label}: slab and reference move logs diverged"
+                    f"{label}: " + _CORRECTNESS_FLAGS[metric]
                 )
                 comparison._row(scenario, size, metric, base_value, fresh_value, "FAIL")
             continue

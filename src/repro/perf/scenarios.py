@@ -224,6 +224,153 @@ def run_zipfian_hammer(n: int, seed: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Store suite: durable traffic and recovery replays
+# ---------------------------------------------------------------------------
+def _drive_store(store, n: int, seed: int) -> None:
+    """Seeded mixed traffic: the crash-injection harness's op mix.
+
+    One op script definition serves the whole durability layer (the
+    differential tests, the factory sweep and these scenarios) — see
+    :func:`repro.store.harness.make_ops`.  A checkpoint is written halfway
+    through (without WAL truncation), so the recovery measurements can
+    compare snapshot + tail replay against a full from-empty replay of
+    the same log.
+    """
+    from repro.store.harness import apply_to_store, make_ops
+
+    for index, op in enumerate(make_ops(n, seed), start=1):
+        apply_to_store(store, op)
+        if index == n // 2:
+            store.snapshot()
+
+
+def run_durable_mixed(n: int, seed: int) -> dict:
+    """Durable mixed traffic, then both recovery paths timed and counted.
+
+    ``replayed_tail`` (snapshot + WAL tail) versus ``replayed_full``
+    (from-empty WAL replay) is the payoff of checkpointing: the tail must
+    replay strictly fewer frames — asserted by ``benchmarks/bench_store.py``.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.store.snapshot import SNAPSHOT_DIR_NAME
+    from repro.store.store import DurableStore
+
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        started = time.perf_counter()
+        store = DurableStore(
+            root / "store",
+            algorithm="classical",
+            shard_capacity=128,
+            sync_policy="never",
+        )
+        _drive_store(store, n, seed)
+        elapsed = time.perf_counter() - started
+        keys = len(store)
+        total_moves = store.map.costs.total_cost
+        wal_frames = store.last_lsn
+        shards = store.labeler.shard_count
+        expected_items = list(store.items())
+        store.close()
+
+        # Tail recovery: newest snapshot + WAL frames past it.
+        tail_started = time.perf_counter()
+        recovered = DurableStore(root / "store", sync_policy="never")
+        tail_elapsed = time.perf_counter() - tail_started
+        replayed_tail = recovered.recovery.frames_replayed
+        recovered_ok = list(recovered.items()) == expected_items
+        recovered.close()
+
+        # Full recovery: same WAL, snapshots removed.
+        full_dir = root / "full"
+        shutil.copytree(root / "store", full_dir)
+        shutil.rmtree(full_dir / SNAPSHOT_DIR_NAME, ignore_errors=True)
+        full_started = time.perf_counter()
+        full = DurableStore(full_dir, sync_policy="never")
+        full_elapsed = time.perf_counter() - full_started
+        replayed_full = full.recovery.frames_replayed
+        recovered_ok = recovered_ok and list(full.items()) == expected_items
+        full.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "operations": n,
+        "keys": keys,
+        "total_moves": total_moves,
+        "wal_frames": wal_frames,
+        "shards": shards,
+        "replayed_tail": replayed_tail,
+        "replayed_full": replayed_full,
+        "recovered_match": recovered_ok,
+        "elapsed_seconds": elapsed,
+        "ops_per_second": n / elapsed if elapsed else 0.0,
+        "recovery_elapsed_seconds": tail_elapsed,
+        "full_recovery_elapsed_seconds": full_elapsed,
+    }
+
+
+def run_durable_bulk_ingest(n: int, seed: int) -> dict:
+    """Sorted bulk ingest through atomic ``put_many`` frames.
+
+    One WAL frame per batch of 64 keys: frames ≪ operations, and
+    recovery replays batches through the same merged-rebalance path the
+    live ingest used.
+    """
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from repro.store.store import DurableStore
+
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-store-"))
+    try:
+        rng = random.Random(seed)
+        keys = rng.sample(range(10**7), n)
+        started = time.perf_counter()
+        store = DurableStore(
+            root / "store",
+            algorithm="classical",
+            shard_capacity=128,
+            sync_policy="never",
+        )
+        for start in range(0, n, 64):
+            chunk = sorted(keys[start : start + 64])
+            store.put_many([(key, start) for key in chunk])
+        elapsed = time.perf_counter() - started
+        total_moves = store.map.costs.total_cost
+        wal_frames = store.last_lsn
+        shards = store.labeler.shard_count
+        expected_items = list(store.items())
+        store.close()
+
+        recovery_started = time.perf_counter()
+        recovered = DurableStore(root / "store", sync_policy="never")
+        recovery_elapsed = time.perf_counter() - recovery_started
+        replayed = recovered.recovery.frames_replayed
+        recovered_ok = list(recovered.items()) == expected_items
+        recovered.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "operations": n,
+        "keys": n,
+        "total_moves": total_moves,
+        "wal_frames": wal_frames,
+        "shards": shards,
+        "replayed_full": replayed,
+        "recovered_match": recovered_ok,
+        "elapsed_seconds": elapsed,
+        "ops_per_second": n / elapsed if elapsed else 0.0,
+        "recovery_elapsed_seconds": recovery_elapsed,
+    }
+
+
+# ---------------------------------------------------------------------------
 # Registries
 # ---------------------------------------------------------------------------
 CORE_SCENARIOS: dict[str, ScenarioSpec] = {
@@ -247,6 +394,21 @@ SHARDED_SCENARIOS: dict[str, ScenarioSpec] = {
         ),
         ScenarioSpec(
             "zipfian_hammer", quick_n=1024, full_n=8192, run=run_zipfian_hammer
+        ),
+    )
+}
+
+STORE_SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            "durable_mixed", quick_n=512, full_n=4096, run=run_durable_mixed
+        ),
+        ScenarioSpec(
+            "durable_bulk_ingest",
+            quick_n=1024,
+            full_n=8192,
+            run=run_durable_bulk_ingest,
         ),
     )
 }

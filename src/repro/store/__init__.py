@@ -1,0 +1,66 @@
+"""Durable labeling store: WAL + snapshots + crash recovery + serving.
+
+The paper's list-labeling structures earn their keep in a database context
+only if state survives a crash: this package turns the sharded labeling
+engine (:class:`~repro.core.sharded.ShardedLabeler` behind a
+:class:`~repro.applications.ordered_map.PackedMemoryMap` clustered index)
+into an actual store.  Four layers, bottom up:
+
+* :mod:`repro.store.wal` — an append-only, schema-versioned JSONL
+  **write-ahead log**: one CRC-stamped frame per mutation (batch ops are a
+  single atomic frame), fsync barriers per the configured sync policy, and
+  torn-tail detection + truncation on open;
+* :mod:`repro.store.snapshot` — crash-safe **per-shard checkpoints**: the
+  exact labeler state of every shard (via the ``snapshot()``/``restore()``
+  hooks on :class:`~repro.core.interface.ListLabeler`) plus its values,
+  one file per shard, atomically renamed into place and checksum-verified
+  on load;
+* :mod:`repro.store.store` — :class:`~repro.store.store.DurableStore`:
+  log-then-apply mutations, **recovery** = newest valid snapshot +
+  tail-WAL replay, and **compaction** that snapshots and truncates the
+  log;
+* :mod:`repro.store.service` — :class:`~repro.store.service.StoreService`:
+  a concurrent front-end with striped per-shard read-write locks,
+  snapshot-consistent range scans, and an optional background compactor.
+
+Because every registered shard algorithm snapshots its *complete*
+behavioural state (slot layout, RNG state, pending rebalance tasks,
+hotspot counters), recovery is exact: the recovered store has the same key
+order, the same composed labels, and the same per-shard physical layout as
+the uninterrupted run — asserted at every WAL frame boundary by the
+crash-injection differential in ``tests/test_store.py``.
+
+Quickstart::
+
+    from repro.store import DurableStore, StoreService
+
+    with DurableStore("/tmp/mystore", algorithm="classical") as store:
+        store.put("alice", 1)
+        store.put_many([("bob", 2), ("carol", 3)])   # one atomic WAL frame
+        store.compact()                              # snapshot + truncate log
+
+    reopened = DurableStore("/tmp/mystore")          # runs recovery
+    assert reopened.keys() == ["alice", "bob", "carol"]
+
+Command line: ``python -m repro.store {snapshot,recover,verify,compact}``.
+"""
+
+from repro.store.factories import DEFAULT_ALGORITHM, SHARD_FACTORIES
+from repro.store.service import RWLock, StoreService
+from repro.store.snapshot import SnapshotInfo, list_snapshots
+from repro.store.store import DurableStore, RecoveryReport, StoreError
+from repro.store.wal import WALError, WriteAheadLog
+
+__all__ = [
+    "DEFAULT_ALGORITHM",
+    "DurableStore",
+    "RWLock",
+    "RecoveryReport",
+    "SHARD_FACTORIES",
+    "SnapshotInfo",
+    "StoreError",
+    "StoreService",
+    "WALError",
+    "WriteAheadLog",
+    "list_snapshots",
+]

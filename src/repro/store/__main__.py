@@ -1,0 +1,188 @@
+"""Command-line entry point: ``python -m repro.store <command> --dir DIR``.
+
+* ``recover --dir DIR`` — open the store (which runs recovery: newest
+  valid snapshot + tail-WAL replay + torn-tail truncation) and print the
+  recovery report.
+* ``snapshot --dir DIR`` — open and write a fresh checkpoint.
+* ``compact --dir DIR`` — open, checkpoint, and truncate the WAL prefix
+  the checkpoint covers.
+* ``verify --dir DIR`` — open and check every integrity invariant
+  (physical layout vs. keys, sharding invariants, sorted order,
+  key/value bijection); exits nonzero on failure.
+* ``verify --factory-sweep`` — instead of opening an existing store, run
+  a seeded workload + snapshot + reopen + verify round-trip in a
+  temporary directory for **every** registered shard algorithm (what the
+  ``store-recovery`` CI job runs).
+
+A maintenance command pointed at a directory holding no store refuses to
+run (a mistyped ``--dir`` must not conjure an empty store and call it
+healthy); pass ``--create`` to initialize one, with ``--algorithm`` /
+``--shard-capacity`` fixing its configuration — validated, not changed,
+on every reopen.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+
+from repro.store.factories import SHARD_FACTORIES
+from repro.store.store import DurableStore
+
+
+def _open(args: argparse.Namespace) -> DurableStore:
+    if not args.dir:
+        raise SystemExit("--dir is required for this command")
+    from pathlib import Path
+
+    from repro.store.store import CONFIG_FILENAME
+
+    if not (Path(args.dir) / CONFIG_FILENAME).exists() and not args.create:
+        # A maintenance command pointed at a directory with no store must
+        # refuse, not conjure an empty store and report it healthy — a
+        # mistyped --dir after a crash would otherwise read as "ok: 0 keys".
+        raise SystemExit(
+            f"no store at {args.dir} (missing {CONFIG_FILENAME}); "
+            f"pass --create to initialize a new one"
+        )
+    return DurableStore(
+        args.dir,
+        algorithm=args.algorithm,
+        shard_capacity=args.shard_capacity,
+        sync_policy=args.sync,
+    )
+
+
+def _print_recovery(store: DurableStore) -> None:
+    report = store.recovery
+    print(f"store      : {store.directory} (algorithm={store.algorithm}, "
+          f"shard_capacity={store.shard_capacity})")
+    print(f"snapshot   : lsn {report.snapshot_lsn}"
+          + ("" if report.snapshot_lsn else " (none; replayed from empty)"))
+    print(f"wal        : {report.wal_frames_seen} frame(s) seen, "
+          f"{report.frames_replayed} replayed past the snapshot")
+    if report.truncated_bytes:
+        print(f"torn tail  : {report.truncated_bytes} byte(s) truncated "
+              f"({report.truncation_reason})")
+    print(f"state      : {len(store)} key(s), last lsn {report.last_lsn}")
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        _print_recovery(store)
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        lsn = store.snapshot()
+        print(f"wrote snapshot covering lsn {lsn} "
+              f"({len(store)} key(s), {store.labeler.shard_count} shard(s))")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        lsn = store.compact()
+        print(f"compacted through lsn {lsn}; "
+              f"wal now holds {store.wal_frames_since_snapshot} frame(s)")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.factory_sweep:
+        return _factory_sweep(args)
+    try:
+        with _open(args) as store:
+            report = store.verify()
+    except Exception as error:  # surface as a failure exit, not a traceback
+        print(f"FAIL: {error}")
+        return 1
+    print("ok: " + ", ".join(f"{key}={value}" for key, value in report.items()))
+    return 0
+
+
+def _factory_sweep(args: argparse.Namespace) -> int:
+    """Workload → snapshot → reopen → verify, for every registered factory."""
+    from repro.store.harness import apply_to_store, make_ops
+
+    operations = args.sweep_operations
+    failures = 0
+    for name in sorted(SHARD_FACTORIES):
+        directory = tempfile.mkdtemp(prefix=f"repro-store-{name}-")
+        try:
+            with DurableStore(
+                directory, algorithm=name, shard_capacity=32, sync_policy="never"
+            ) as store:
+                for index, op in enumerate(make_ops(operations, 20260730), 1):
+                    apply_to_store(store, op)
+                    if index == operations // 2:
+                        store.compact()
+                expected = list(store.items())
+            with DurableStore(directory, sync_policy="never") as reopened:
+                reopened.verify()
+                if list(reopened.items()) != expected:
+                    raise AssertionError("recovered items diverged")
+                replayed = reopened.recovery.frames_replayed
+            print(f"ok [{name}]: {len(expected)} key(s) round-tripped, "
+                  f"{replayed} tail frame(s) replayed")
+        except Exception as error:
+            failures += 1
+            print(f"FAIL [{name}]: {error}")
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.store")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--dir", default=None, help="store directory")
+        command.add_argument(
+            "--algorithm",
+            choices=sorted(SHARD_FACTORIES),
+            default=None,
+            help="shard algorithm (first open only; validated on reopen)",
+        )
+        command.add_argument("--shard-capacity", type=int, default=None)
+        command.add_argument(
+            "--sync", choices=["always", "batch", "never"], default="always"
+        )
+        command.add_argument(
+            "--create",
+            action="store_true",
+            help="initialize a new store when --dir holds none",
+        )
+
+    recover = sub.add_parser("recover", help="open the store and report recovery")
+    common(recover)
+    recover.set_defaults(func=_cmd_recover)
+
+    snapshot = sub.add_parser("snapshot", help="write a checkpoint")
+    common(snapshot)
+    snapshot.set_defaults(func=_cmd_snapshot)
+
+    compact = sub.add_parser("compact", help="checkpoint + truncate the WAL")
+    common(compact)
+    compact.set_defaults(func=_cmd_compact)
+
+    verify = sub.add_parser("verify", help="check every integrity invariant")
+    common(verify)
+    verify.add_argument(
+        "--factory-sweep",
+        action="store_true",
+        help="round-trip a seeded workload for every registered algorithm",
+    )
+    verify.add_argument("--sweep-operations", type=int, default=400)
+    verify.set_defaults(func=_cmd_verify)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Tagged JSON codec for store keys, values and labeler snapshots.
+
+Everything the durable store persists — WAL frames, snapshot manifests,
+per-shard labeler states — is JSON on disk, but the in-memory objects are
+richer than JSON: keys are often :class:`fractions.Fraction` (the exact
+rationals the test drivers synthesize), labeler snapshots contain tuples
+(RNG states, task queues) and integer-keyed dicts.  The codec walks a value
+recursively and wraps every non-JSON leaf in a single-key tag object:
+
+==========================  ==========================================
+in-memory value             encoded form
+==========================  ==========================================
+``str/int/bool/None``       itself
+``float``                   itself (``repr`` round-trips exactly)
+``Fraction(n, d)``          ``{"$frac": [str(n), str(d)]}``
+``tuple(...)``              ``{"$tuple": [...]}``
+``bytes``                   ``{"$bytes": "<hex>"}``
+``dict`` (str keys)         ``{...}`` (keys starting with ``$`` escaped
+                            as ``$$``)
+``dict`` (other keys)       ``{"$dict": [[k, v], ...]}``
+``list``                    ``[...]``
+==========================  ==========================================
+
+The encoding is self-describing, so :func:`decode` needs no schema, and it
+is canonical (``sort_keys`` + fixed separators in :func:`dumps`), so the
+CRC the WAL stamps over a frame is stable across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from fractions import Fraction
+
+
+def encode(value):
+    """Encode ``value`` into a JSON-representable structure."""
+    if value is None or isinstance(value, (str, bool, int, float)):
+        return value
+    if isinstance(value, Fraction):
+        return {"$frac": [str(value.numerator), str(value.denominator)]}
+    if isinstance(value, tuple):
+        return {"$tuple": [encode(item) for item in value]}
+    if isinstance(value, bytes):
+        return {"$bytes": value.hex()}
+    if isinstance(value, list):
+        return [encode(item) for item in value]
+    if isinstance(value, dict):
+        if all(isinstance(key, str) for key in value):
+            return {
+                ("$$" + key[1:] if key.startswith("$") else key): encode(item)
+                for key, item in value.items()
+            }
+        return {"$dict": [[encode(key), encode(item)] for key, item in value.items()]}
+    raise TypeError(f"cannot encode {type(value).__name__} value {value!r}")
+
+
+def decode(value):
+    """Invert :func:`encode`."""
+    if isinstance(value, list):
+        return [decode(item) for item in value]
+    if isinstance(value, dict):
+        if len(value) == 1:
+            tag, payload = next(iter(value.items()))
+            if tag == "$frac":
+                return Fraction(int(payload[0]), int(payload[1]))
+            if tag == "$tuple":
+                return tuple(decode(item) for item in payload)
+            if tag == "$bytes":
+                return bytes.fromhex(payload)
+            if tag == "$dict":
+                return {decode(key): decode(item) for key, item in payload}
+        return {
+            (key[1:] if key.startswith("$$") else key): decode(item)
+            for key, item in value.items()
+        }
+    return value
+
+
+def dumps(value) -> str:
+    """Canonical one-line JSON of an encoded value (stable across runs)."""
+    return json.dumps(encode(value), sort_keys=True, separators=(",", ":"))
+
+
+def loads(text: str):
+    return decode(json.loads(text))
+
+
+def checksum(text: str) -> int:
+    """CRC32 stamped over WAL frames and snapshot files."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF

@@ -1,0 +1,255 @@
+"""Concurrent front-end for the durable store.
+
+:class:`StoreService` serves a :class:`~repro.store.store.DurableStore` to
+many threads with a two-level locking protocol:
+
+* a **structure** read-write lock guarding the labeler, the sorted key
+  sequence and the WAL — mutations hold it exclusively (they may split or
+  merge shards, which moves global state), range scans and full
+  iterations hold it shared, so any number of scans overlap each other
+  and never observe a half-applied mutation;
+* **striped per-shard read-write locks** for point reads — a ``get`` only
+  takes its key's stripe in shared mode, so point reads on different
+  stripes never contend with each other, and a writer (which takes its
+  key's stripe exclusively *in addition to* the structure lock) only
+  blocks the readers of the stripe it is mutating.  The stripe count
+  defaults to the labeler's shard count at construction; hashing keys to
+  stripes approximates per-shard ownership without pinning stripes to
+  shard boundaries that splits would move.
+
+**Snapshot-consistent scans.**  :meth:`StoreService.range_scan` and
+:meth:`StoreService.snapshot_items` materialize their result while holding
+the structure lock shared: the returned list is an immutable point-in-time
+view — concurrent writers are serialized either entirely before or
+entirely after it, never interleaved into it.
+
+**Background compaction.**  :meth:`StoreService.start_compactor` runs
+``compact()`` on a daemon thread whenever the WAL grows past a threshold;
+the compaction itself takes the structure lock exclusively, so it is just
+another (heavyweight) writer as far as correctness is concerned.
+
+The multi-threaded driver in ``tests/test_store.py`` hammers one service
+with interleaved readers, writers and a compactor and asserts that every
+scan is sorted and consistent, every read returns a value that was current
+at some point, and the final durable state equals the writers' merged
+effect.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Hashable, Iterable, Sequence
+
+from repro.store.store import DurableStore
+
+
+class RWLock:
+    """A writer-preferring read-write lock (no reader starvation of writers)."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._condition.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+    class _ReadGuard:
+        def __init__(self, lock: "RWLock") -> None:
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_read()
+
+        def __exit__(self, *exc):
+            self._lock.release_read()
+
+    class _WriteGuard:
+        def __init__(self, lock: "RWLock") -> None:
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_write()
+
+        def __exit__(self, *exc):
+            self._lock.release_write()
+
+    def read(self) -> "_ReadGuard":
+        return self._ReadGuard(self)
+
+    def write(self) -> "_WriteGuard":
+        return self._WriteGuard(self)
+
+
+class StoreService:
+    """Thread-safe durable-store server with striped read-write locking."""
+
+    def __init__(self, store: DurableStore, *, stripes: int | None = None) -> None:
+        self._store = store
+        if stripes is None:
+            stripes = max(8, getattr(store.labeler, "shard_count", 8))
+        self._stripes = [RWLock() for _ in range(max(1, stripes))]
+        self._structure = RWLock()
+        self._compactor: threading.Thread | None = None
+        self._compactor_stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> DurableStore:
+        return self._store
+
+    @property
+    def stripe_count(self) -> int:
+        return len(self._stripes)
+
+    def _stripe(self, key: Hashable) -> RWLock:
+        return self._stripes[hash(key) % len(self._stripes)]
+
+    # ------------------------------------------------------------------
+    # Point reads: stripe shared lock only
+    # ------------------------------------------------------------------
+    def get(self, key, default=None):
+        with self._stripe(key).read():
+            return self._store.get(key, default)
+
+    def contains(self, key) -> bool:
+        with self._stripe(key).read():
+            return key in self._store
+
+    # ------------------------------------------------------------------
+    # Mutations: structure exclusive + key stripe(s) exclusive
+    # ------------------------------------------------------------------
+    def put(self, key, value) -> None:
+        with self._structure.write():
+            with self._stripe(key).write():
+                self._store.put(key, value)
+
+    def delete(self, key) -> None:
+        with self._structure.write():
+            with self._stripe(key).write():
+                self._store.delete(key)
+
+    def put_many(self, items: Iterable[tuple[Hashable, object]]) -> int:
+        materialized = list(items)
+        with self._structure.write():
+            with self._all_stripes():
+                return self._store.put_many(materialized)
+
+    def delete_many(self, keys: Iterable[Hashable]) -> int:
+        materialized = list(keys)
+        with self._structure.write():
+            with self._all_stripes():
+                return self._store.delete_many(materialized)
+
+    class _AllStripes:
+        def __init__(self, stripes: Sequence[RWLock]) -> None:
+            self._stripes = stripes
+
+        def __enter__(self):
+            for stripe in self._stripes:
+                stripe.acquire_write()
+
+        def __exit__(self, *exc):
+            for stripe in reversed(self._stripes):
+                stripe.release_write()
+
+    def _all_stripes(self) -> "_AllStripes":
+        # Batches touch arbitrarily many keys; taking every stripe (in a
+        # fixed order, so no deadlock with other batch writers) keeps the
+        # per-stripe reader guarantee intact.
+        return self._AllStripes(self._stripes)
+
+    # ------------------------------------------------------------------
+    # Snapshot-consistent scans: structure shared lock
+    # ------------------------------------------------------------------
+    def range_scan(self, low, high) -> list[tuple]:
+        """All ``(key, value)`` with ``low <= key <= high``, one instant."""
+        with self._structure.read():
+            return list(self._store.range(low, high))
+
+    def snapshot_items(self) -> list[tuple]:
+        """Every item, as one consistent point-in-time view."""
+        with self._structure.read():
+            return list(self._store.items())
+
+    def size(self) -> int:
+        with self._structure.read():
+            return len(self._store)
+
+    # ------------------------------------------------------------------
+    # Checkpoints (writers, as far as locking is concerned)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> int:
+        with self._structure.write():
+            return self._store.snapshot()
+
+    def compact(self) -> int:
+        with self._structure.write():
+            return self._store.compact()
+
+    def verify(self) -> dict:
+        with self._structure.read():
+            return self._store.verify()
+
+    # ------------------------------------------------------------------
+    # Background compaction
+    # ------------------------------------------------------------------
+    def start_compactor(
+        self,
+        *,
+        wal_frame_threshold: int = 1024,
+        poll_seconds: float = 0.05,
+        on_compact: Callable[[int], None] | None = None,
+    ) -> None:
+        """Run compaction on a daemon thread when the WAL grows too long."""
+        if self._compactor is not None:
+            raise RuntimeError("compactor already running")
+        self._compactor_stop.clear()
+
+        def loop() -> None:
+            while not self._compactor_stop.wait(poll_seconds):
+                if self._store.wal_frames_since_snapshot >= wal_frame_threshold:
+                    lsn = self.compact()
+                    if on_compact is not None:
+                        on_compact(lsn)
+
+        self._compactor = threading.Thread(
+            target=loop, name="repro-store-compactor", daemon=True
+        )
+        self._compactor.start()
+
+    def stop_compactor(self) -> None:
+        if self._compactor is not None:
+            self._compactor_stop.set()
+            self._compactor.join()
+            self._compactor = None
+
+    def close(self) -> None:
+        self.stop_compactor()
+        with self._structure.write():
+            self._store.close()

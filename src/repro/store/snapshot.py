@@ -1,0 +1,200 @@
+"""Per-shard snapshot checkpoints for the durable store.
+
+A snapshot is a *directory* under ``<store>/snapshots/`` named by the LSN
+it covers::
+
+    snapshots/snapshot-0000000042/
+        manifest.json     {"schema_version", "lsn", "labeler", "shard_files",
+                           "checksums": {filename: crc32}}
+        shard-0000.json   one file per shard: the shard's exact labeler
+        shard-0001.json   snapshot plus the values of the keys it holds
+        ...
+
+The sharded engine's snapshot document is split so each shard's state is
+its own file — a shard is the store's unit of recovery and (future) unit of
+distribution, and per-shard files keep any one write small.  An engine
+whose labeler is not sharded (a bounded ``DurableMap``) degenerates to a
+single ``shard-0000.json``.
+
+Writing is crash-safe: the files land in a ``*.tmp`` directory first, each
+fsynced, then the directory is atomically renamed into place and the parent
+fsynced.  Loading verifies every file against the manifest checksums and
+falls back to the next-newest snapshot when anything is missing or
+corrupt, so a crash *during* snapshotting can never poison recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.store import codec
+from repro.store.wal import _fsync_directory
+
+SNAPSHOT_SCHEMA_VERSION = 1
+
+SNAPSHOT_DIR_NAME = "snapshots"
+_PREFIX = "snapshot-"
+
+
+@dataclass
+class SnapshotInfo:
+    """One on-disk snapshot checkpoint."""
+
+    path: Path
+    lsn: int
+
+
+def snapshot_root(store_dir: str | Path) -> Path:
+    return Path(store_dir) / SNAPSHOT_DIR_NAME
+
+
+def list_snapshots(store_dir: str | Path) -> list[SnapshotInfo]:
+    """All snapshot directories, oldest first (invalid names skipped)."""
+    root = snapshot_root(store_dir)
+    found: list[SnapshotInfo] = []
+    if not root.exists():
+        return found
+    for entry in sorted(root.iterdir()):
+        name = entry.name
+        if not entry.is_dir() or not name.startswith(_PREFIX):
+            continue
+        if name.endswith(".tmp"):
+            continue  # a crash mid-write left this; never trusted
+        try:
+            lsn = int(name[len(_PREFIX) :])
+        except ValueError:
+            continue
+        found.append(SnapshotInfo(path=entry, lsn=lsn))
+    found.sort(key=lambda info: info.lsn)
+    return found
+
+
+def write_snapshot(store_dir: str | Path, lsn: int, labeler_state: dict,
+                   values_by_shard: list[list]) -> SnapshotInfo:
+    """Persist one checkpoint covering every WAL frame up to ``lsn``.
+
+    ``labeler_state`` is the labeler's :meth:`~repro.core.interface
+    .ListLabeler.snapshot` document; when it is the sharded format its
+    per-shard entries are split into ``shard-NNNN.json`` files.
+    ``values_by_shard`` carries, aligned with the shard list, the
+    ``[key, value]`` pairs of each shard's keys.
+    """
+    root = snapshot_root(store_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    final = root / f"{_PREFIX}{lsn:010d}"
+    tmp = root / f"{_PREFIX}{lsn:010d}.tmp"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir()
+
+    if labeler_state.get("format") == "sharded":
+        skeleton = {key: value for key, value in labeler_state.items() if key != "shards"}
+        shard_states = labeler_state["shards"]
+    else:
+        skeleton = {"format": "single"}
+        shard_states = [labeler_state]
+
+    checksums: dict[str, int] = {}
+    shard_files: list[str] = []
+    for index, shard_state in enumerate(shard_states):
+        name = f"shard-{index:04d}.json"
+        body = codec.dumps(
+            {
+                "labeler": shard_state,
+                "entries": values_by_shard[index] if index < len(values_by_shard) else [],
+            }
+        )
+        _write_file(tmp / name, body)
+        checksums[name] = codec.checksum(body)
+        shard_files.append(name)
+
+    manifest = {
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "lsn": lsn,
+        "labeler": skeleton,
+        "shard_files": shard_files,
+        "checksums": checksums,
+    }
+    _write_file(tmp / "manifest.json", codec.dumps(manifest))
+
+    if final.exists():
+        shutil.rmtree(final)
+    os.replace(tmp, final)
+    _fsync_directory(root)
+    return SnapshotInfo(path=final, lsn=lsn)
+
+
+class SnapshotLoadError(RuntimeError):
+    """A snapshot directory failed validation (corrupt or incomplete)."""
+
+
+def load_snapshot(info: SnapshotInfo) -> tuple[dict, list[list]]:
+    """Read and verify one checkpoint; returns ``(labeler_state, entries)``.
+
+    ``entries`` is the concatenated ``[key, value]`` pairs in key order.
+    Raises :class:`SnapshotLoadError` on any integrity problem.
+    """
+    manifest_path = info.path / "manifest.json"
+    try:
+        manifest = codec.loads(manifest_path.read_text())
+    except (OSError, ValueError) as error:
+        raise SnapshotLoadError(f"unreadable manifest in {info.path}: {error}")
+    if manifest.get("schema_version") != SNAPSHOT_SCHEMA_VERSION:
+        raise SnapshotLoadError(
+            f"snapshot {info.path} has schema version "
+            f"{manifest.get('schema_version')!r}; this build reads "
+            f"{SNAPSHOT_SCHEMA_VERSION}"
+        )
+    shard_states: list[dict] = []
+    entries: list[list] = []
+    for name in manifest["shard_files"]:
+        path = info.path / name
+        try:
+            body = path.read_text()
+        except OSError as error:
+            raise SnapshotLoadError(f"missing shard file {path}: {error}")
+        if codec.checksum(body) != manifest["checksums"].get(name):
+            raise SnapshotLoadError(f"checksum mismatch in {path}")
+        document = codec.loads(body)
+        shard_states.append(document["labeler"])
+        entries.extend(document["entries"])
+
+    skeleton = manifest["labeler"]
+    if skeleton.get("format") == "sharded":
+        labeler_state = dict(skeleton)
+        labeler_state["shards"] = shard_states
+    else:
+        labeler_state = shard_states[0] if shard_states else {"format": "elements", "size": 0, "elements": []}
+    return labeler_state, entries
+
+
+def load_newest_valid(store_dir: str | Path) -> tuple[SnapshotInfo | None, dict | None, list[list]]:
+    """The newest checkpoint that passes validation (or none at all)."""
+    for info in reversed(list_snapshots(store_dir)):
+        try:
+            labeler_state, entries = load_snapshot(info)
+        except SnapshotLoadError:
+            continue
+        return info, labeler_state, entries
+    return None, None, []
+
+
+def prune_snapshots(store_dir: str | Path, *, keep: int = 1) -> int:
+    """Delete all but the ``keep`` newest snapshots; returns the count removed."""
+    snapshots = list_snapshots(store_dir)
+    removed = 0
+    for info in snapshots[: max(0, len(snapshots) - keep)]:
+        shutil.rmtree(info.path, ignore_errors=True)
+        removed += 1
+    return removed
+
+
+def _write_file(path: Path, body: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(body)
+        handle.flush()
+        os.fsync(handle.fileno())

@@ -1,0 +1,489 @@
+"""The durable labeled store: WAL + snapshots + crash recovery.
+
+:class:`DurableStore` wraps an unbounded :class:`~repro.applications
+.ordered_map.PackedMemoryMap` (a :class:`~repro.core.sharded
+.ShardedLabeler` clustered index over any registered algorithm's shards)
+and makes its state survive crashes:
+
+* every mutation is framed into the :class:`~repro.store.wal
+  .WriteAheadLog` **before** it touches memory (batch mutations are one
+  atomic frame);
+* :meth:`DurableStore.snapshot` checkpoints the exact per-shard labeler
+  state (layout, RNG state, pending rebalance tasks — see the algorithms'
+  ``_snapshot_extra`` hooks) plus the values, crash-safely;
+* opening the store runs **recovery**: newest valid snapshot, then replay
+  of the WAL tail past it, after torn-tail truncation;
+* :meth:`DurableStore.compact` snapshots and then truncates the log, so
+  the WAL stays proportional to the write traffic since the last
+  checkpoint rather than to the store's lifetime.
+
+Determinism contract: recovery reproduces the *exact* labeler state (key
+order, labels, per-shard layout) the uninterrupted run had after the last
+durable frame — the crash-injection differential in ``tests/test_store.py``
+asserts this at every frame boundary for every registered shard algorithm.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Hashable, Iterable, Iterator
+
+from repro.applications.ordered_map import PackedMemoryMap
+from repro.core.interface import ListLabeler
+from repro.store import snapshot as snapshot_io
+from repro.store.factories import DEFAULT_ALGORITHM, resolve_factory
+from repro.store.wal import WriteAheadLog
+
+CONFIG_SCHEMA_VERSION = 1
+CONFIG_FILENAME = "store.json"
+WAL_FILENAME = "wal.jsonl"
+LOCK_FILENAME = "store.lock"
+HORIZON_FILENAME = "horizon.json"
+
+
+class StoreError(RuntimeError):
+    """Configuration or integrity failure of a durable store."""
+
+
+@dataclass
+class RecoveryReport:
+    """What opening a store found and did."""
+
+    #: LSN of the snapshot recovery started from (0 = replayed from empty).
+    snapshot_lsn: int
+    #: Intact frames found in the log.
+    wal_frames_seen: int
+    #: Frames actually applied (those past the snapshot).
+    frames_replayed: int
+    #: Bytes dropped by torn-tail truncation (0 for a clean log).
+    truncated_bytes: int
+    truncation_reason: str | None
+    #: Highest durable LSN after recovery.
+    last_lsn: int
+
+
+class DurableStore:
+    """A crash-recoverable sorted key→value store.
+
+    Parameters
+    ----------
+    directory:
+        Home of the store (created on first open).  Layout:
+        ``store.json`` (config), ``wal.jsonl`` (the log),
+        ``snapshots/snapshot-<lsn>/`` (checkpoints).
+    algorithm:
+        Name of the shard algorithm in :data:`repro.store.factories
+        .SHARD_FACTORIES`.  Fixed at creation; a mismatch on reopen is an
+        error (recovering with a different algorithm would silently build
+        a different structure).
+    shard_factory:
+        Explicit factory overriding the registry lookup (pass the same
+        callable on every open; ``algorithm`` still names it on disk).
+    shard_capacity:
+        Fixed capacity of every shard.
+    sync_policy:
+        WAL durability: ``"always"`` (fsync per frame), ``"batch"``
+        (fsync on :meth:`sync`/:meth:`close`), ``"never"`` (tests).
+    compact_every:
+        Auto-compaction threshold: snapshot + truncate once this many
+        frames accumulate past the latest checkpoint (``None`` = manual).
+    snapshot_keep:
+        Checkpoints retained by pruning (the newest is always kept).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        algorithm: str | None = None,
+        shard_factory: Callable[[int], ListLabeler] | None = None,
+        shard_capacity: int | None = None,
+        sync_policy: str = "always",
+        compact_every: int | None = None,
+        snapshot_keep: int = 2,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock_handle = self._acquire_directory_lock()
+        try:
+            self._config = self._load_or_create_config(algorithm, shard_capacity)
+            self.algorithm = self._config["algorithm"]
+            self.shard_capacity = self._config["shard_capacity"]
+            if shard_factory is None:
+                # Registry names resolve; a store created with a custom
+                # factory must be reopened with that same callable (the
+                # config records the name so the omission is a loud error,
+                # not a silent mis-recovery).
+                shard_factory = resolve_factory(self.algorithm)
+            self._shard_factory = shard_factory
+            self.compact_every = compact_every
+            self.snapshot_keep = max(1, snapshot_keep)
+            self._map = PackedMemoryMap(
+                capacity=None,
+                labeler_factory=shard_factory,
+                shard_capacity=self.shard_capacity,
+            )
+            self._wal = WriteAheadLog(
+                self.directory / WAL_FILENAME, sync_policy=sync_policy
+            )
+            self._frames_since_snapshot = 0
+            self._last_snapshot_lsn = 0
+            self.recovery = self._recover()
+        except BaseException:
+            self._release_directory_lock()
+            raise
+
+    # ------------------------------------------------------------------
+    # Single-writer guard
+    # ------------------------------------------------------------------
+    def _acquire_directory_lock(self):
+        """One live ``DurableStore`` per directory, enforced with ``flock``.
+
+        Two concurrent opens would interleave WAL appends with overlapping
+        LSNs, and the next recovery's sequence check would truncate —
+        i.e. silently destroy — acknowledged writes.  An OS advisory lock
+        makes the second open fail loudly instead, and evaporates with
+        the process (so a SIGKILL never leaves a stale lock behind).
+        """
+        path = self.directory / LOCK_FILENAME
+        handle = open(path, "a+")
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX platforms
+            return handle
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise StoreError(
+                f"store directory {self.directory} is locked by another "
+                f"live DurableStore; close it first"
+            ) from None
+        return handle
+
+    def _release_directory_lock(self) -> None:
+        if self._lock_handle is not None:
+            self._lock_handle.close()  # closing drops the flock
+            self._lock_handle = None
+
+    # ------------------------------------------------------------------
+    # Config
+    # ------------------------------------------------------------------
+    def _load_or_create_config(
+        self, algorithm: str | None, shard_capacity: int | None
+    ) -> dict:
+        path = self.directory / CONFIG_FILENAME
+        if path.exists():
+            config = json.loads(path.read_text())
+            if config.get("schema_version") != CONFIG_SCHEMA_VERSION:
+                raise StoreError(
+                    f"store config schema {config.get('schema_version')!r} "
+                    f"unsupported (this build reads {CONFIG_SCHEMA_VERSION})"
+                )
+            if algorithm is not None and algorithm != config["algorithm"]:
+                raise StoreError(
+                    f"store was created with algorithm "
+                    f"{config['algorithm']!r}; refusing to reopen as "
+                    f"{algorithm!r}"
+                )
+            if shard_capacity is not None and shard_capacity != config["shard_capacity"]:
+                raise StoreError(
+                    f"store was created with shard_capacity "
+                    f"{config['shard_capacity']}; refusing to reopen with "
+                    f"{shard_capacity}"
+                )
+            return config
+        config = {
+            "schema_version": CONFIG_SCHEMA_VERSION,
+            "algorithm": algorithm or DEFAULT_ALGORITHM,
+            "shard_capacity": shard_capacity or 128,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(config, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return config
+
+    # ------------------------------------------------------------------
+    # Durable horizon (what compaction promised is recoverable)
+    # ------------------------------------------------------------------
+    def _read_horizon(self) -> int:
+        """The LSN through which the WAL has been truncated.
+
+        Compaction removes log frames only after a checkpoint covering
+        them is durable; this record is what lets recovery *detect* — as
+        a loud error instead of silent data loss — the case where that
+        checkpoint later turns out corrupt and only an older one loads.
+        """
+        path = self.directory / HORIZON_FILENAME
+        if not path.exists():
+            return 0
+        return int(json.loads(path.read_text()).get("compacted_through", 0))
+
+    def _write_horizon(self, lsn: int) -> None:
+        path = self.directory / HORIZON_FILENAME
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"compacted_through": lsn}, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _recover(self) -> RecoveryReport:
+        info, labeler_state, entries = snapshot_io.load_newest_valid(self.directory)
+        snapshot_lsn = 0
+        if info is not None:
+            self._map.restore_state({"labeler": labeler_state, "entries": entries})
+            snapshot_lsn = info.lsn
+            self._last_snapshot_lsn = info.lsn
+        report = self._wal.open()
+        self._wal.ensure_next_lsn(snapshot_lsn + 1)
+        if report.frames and report.frames[0]["lsn"] > snapshot_lsn + 1:
+            raise StoreError(
+                f"WAL begins at lsn {report.frames[0]['lsn']} but the newest "
+                f"snapshot covers lsn {snapshot_lsn}: frames are missing"
+            )
+        replayed = 0
+        for frame in report.frames:
+            if frame["lsn"] <= snapshot_lsn:
+                continue
+            self._apply(frame["op"], frame)
+            replayed += 1
+        self._frames_since_snapshot = replayed
+        last_lsn = max(report.last_lsn, snapshot_lsn)
+        horizon = self._read_horizon()
+        if last_lsn < horizon:
+            # Compaction dropped frames up to `horizon` on the promise of
+            # a durable checkpoint covering them; recovering to less means
+            # that checkpoint is gone/corrupt and acknowledged writes
+            # would silently vanish.  Refuse instead.
+            raise StoreError(
+                f"recovered state ends at lsn {last_lsn} but the log was "
+                f"compacted through lsn {horizon}: the covering snapshot "
+                f"is missing or corrupt, and replaying the truncated WAL "
+                f"cannot reproduce the acknowledged writes in between"
+            )
+        self._wal.ensure_next_lsn(horizon + 1)
+        return RecoveryReport(
+            snapshot_lsn=snapshot_lsn,
+            wal_frames_seen=len(report.frames),
+            frames_replayed=replayed,
+            truncated_bytes=report.truncated_bytes,
+            truncation_reason=report.truncation_reason,
+            last_lsn=last_lsn,
+        )
+
+    def _apply(self, op: str, payload: dict) -> None:
+        """Apply one frame to the in-memory map (live path and replay)."""
+        if op == "put":
+            self._map[payload["key"]] = payload["value"]
+        elif op == "del":
+            del self._map[payload["key"]]
+        elif op == "put_many":
+            self._map.update_many(
+                (key, value) for key, value in payload["items"]
+            )
+        elif op == "del_many":
+            self._map.delete_many(payload["keys"])
+        else:
+            raise StoreError(f"unknown WAL op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Mutations (log first, then apply)
+    # ------------------------------------------------------------------
+    def _commit(self, op: str, payload: dict) -> None:
+        offset = self._wal.tell()
+        lsn = self._wal.append(op, payload)
+        try:
+            self._apply(op, payload)
+        except BaseException:
+            # The apply failed (e.g. a key that does not compare against
+            # the stored ones): retract the frame, or it would poison
+            # every future recovery — replay fails on it deterministically
+            # and the store could never be reopened.
+            self._wal.rollback_last(offset, lsn)
+            raise
+        self._frames_since_snapshot += 1
+        if (
+            self.compact_every is not None
+            and self._frames_since_snapshot >= self.compact_every
+        ):
+            self.compact()
+
+    def put(self, key: Hashable, value) -> None:
+        """Upsert one key (one WAL frame)."""
+        self._commit("put", {"key": key, "value": value})
+
+    __setitem__ = put
+
+    def delete(self, key: Hashable) -> None:
+        """Delete one key; ``KeyError`` (before logging) when absent."""
+        if key not in self._map:
+            raise KeyError(key)
+        self._commit("del", {"key": key})
+
+    __delitem__ = delete
+
+    def put_many(self, items: Iterable[tuple[Hashable, object]]) -> int:
+        """Atomic bulk upsert: one WAL frame, one merged labeler rebalance."""
+        materialized = [[key, value] for key, value in items]
+        if not materialized:
+            return 0
+        self._commit("put_many", {"items": materialized})
+        return len(materialized)
+
+    def delete_many(self, keys: Iterable[Hashable]) -> int:
+        """Atomic bulk delete: every key must exist (checked before logging)."""
+        targets = sorted(set(keys))
+        for key in targets:
+            if key not in self._map:
+                raise KeyError(key)
+        if not targets:
+            return 0
+        self._commit("del_many", {"keys": targets})
+        return len(targets)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, key, default=None):
+        return self._map.get(key, default)
+
+    def __getitem__(self, key):
+        return self._map[key]
+
+    def __contains__(self, key) -> bool:
+        return key in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def keys(self) -> list:
+        return self._map.keys()
+
+    def items(self) -> Iterator[tuple]:
+        return self._map.items()
+
+    def range(self, low, high) -> Iterator[tuple]:
+        return self._map.range(low, high)
+
+    @property
+    def map(self) -> PackedMemoryMap:
+        return self._map
+
+    @property
+    def labeler(self) -> ListLabeler:
+        return self._map.labeler
+
+    @property
+    def last_lsn(self) -> int:
+        return self._wal.next_lsn - 1
+
+    @property
+    def wal_frames_since_snapshot(self) -> int:
+        return self._frames_since_snapshot
+
+    # ------------------------------------------------------------------
+    # Checkpoints and compaction
+    # ------------------------------------------------------------------
+    def snapshot(self) -> int:
+        """Write a checkpoint covering everything logged so far.
+
+        Returns the LSN the checkpoint covers.  The WAL is fsynced first
+        (a snapshot must never be newer than the durable log, or recovery
+        after a crash could resurrect operations the log lost).
+        """
+        self._wal.sync()
+        lsn = self.last_lsn
+        snapshot_io.write_snapshot(
+            self.directory,
+            lsn,
+            self._map.labeler.snapshot(),
+            self._values_by_shard(),
+        )
+        snapshot_io.prune_snapshots(self.directory, keep=self.snapshot_keep)
+        self._last_snapshot_lsn = lsn
+        self._frames_since_snapshot = 0
+        return lsn
+
+    def compact(self) -> int:
+        """Snapshot, then drop the WAL prefix the snapshot made redundant.
+
+        The durable horizon is recorded *between* the two steps: once the
+        checkpoint is durable and before any frame is dropped, so a crash
+        anywhere in the sequence leaves either the frames or a horizon
+        that the (durable) checkpoint satisfies.
+        """
+        lsn = self.snapshot()
+        self._write_horizon(lsn)
+        self._wal.truncate_through(lsn)
+        return lsn
+
+    def _values_by_shard(self) -> list[list]:
+        labeler = self._map.labeler
+        shards = getattr(labeler, "shards", None)
+        if shards is None:
+            return [[[key, self._map[key]] for key in self._map.keys()]]
+        return [
+            [[key, self._map[key]] for key in shard.elements()]
+            for shard in shards
+        ]
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(self) -> dict:
+        """Check every integrity invariant; returns a report dict.
+
+        Raises on failure.  Covers: physical layout vs. logical keys,
+        the sharding engine's structural invariants, sorted key order,
+        and key/value bijection.
+        """
+        self._map.check()
+        check = getattr(self._map.labeler, "check_consistency", None)
+        if callable(check):
+            check()
+        keys = self._map.keys()
+        for left, right in zip(keys, keys[1:]):
+            if not left < right:
+                raise StoreError(f"key order violated: {left!r} !< {right!r}")
+        values_keys = {key for key, _ in self._map.items()}
+        if values_keys != set(keys):
+            raise StoreError("value map diverged from the key sequence")
+        return {
+            "keys": len(keys),
+            "last_lsn": self.last_lsn,
+            "snapshot_lsn": self._last_snapshot_lsn,
+            "wal_frames_since_snapshot": self._frames_since_snapshot,
+            "shards": getattr(self._map.labeler, "shard_count", 1),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def sync(self) -> None:
+        """Explicit group-commit barrier for ``sync_policy="batch"``."""
+        self._wal.sync()
+
+    def close(self) -> None:
+        self._wal.close()
+        self._release_directory_lock()
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"DurableStore({str(self.directory)!r}, algorithm="
+            f"{self.algorithm!r}, keys={len(self)}, last_lsn={self.last_lsn})"
+        )

@@ -1,0 +1,266 @@
+"""Append-only write-ahead log with torn-tail recovery.
+
+The WAL is a JSONL file: one *frame* per line, written before the in-memory
+structure is mutated.  A frame is a tagged-codec JSON object::
+
+    {"v": 1, "lsn": 17, "op": "put", "key": ..., "value": ..., "crc": 912...}
+
+* ``v`` — the WAL schema version; a version the reader does not understand
+  aborts the open (no silent misinterpretation of old logs).
+* ``lsn`` — log sequence number, strictly ``previous + 1``.  A gap or
+  repeat marks the frame (and everything after it) as untrusted.
+* ``crc`` — CRC32 over the frame's canonical JSON with the ``crc`` field
+  removed.  A mismatch means the line was half-written or bit-rotted.
+
+**Batch atomicity.**  A batched mutation (``put_many`` / ``delete_many``)
+is one frame, so recovery applies it entirely or — when the crash landed
+mid-write — not at all.  There is no partially-applied batch state on disk.
+
+**Fsync barriers.**  ``sync_policy`` controls durability: ``"always"``
+fsyncs after every append (every acknowledged op survives a power cut),
+``"batch"`` fsyncs only on explicit :meth:`sync` / :meth:`close` (group
+commit), ``"never"`` leaves flushing to the OS (tests, benchmarks).
+
+**Torn-tail detection.**  :meth:`WriteAheadLog.open` scans the file frame
+by frame; at the first unparsable / checksum-failing / out-of-sequence
+line it truncates the file back to the last good frame boundary and
+reports how many bytes were dropped.  This is the standard ARIES-style
+contract: the log prefix up to the tear is exactly the set of recoverable
+operations.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.store import codec
+
+#: Version stamped into every frame; bumped on incompatible layout changes.
+WAL_SCHEMA_VERSION = 1
+
+
+class WALError(RuntimeError):
+    """Raised for unrecoverable log conditions (e.g. an unknown version)."""
+
+
+@dataclass
+class WALOpenReport:
+    """What :meth:`WriteAheadLog.open` found on disk."""
+
+    frames: list[dict] = field(default_factory=list)
+    #: Bytes dropped from the tail (0 when the log was clean).
+    truncated_bytes: int = 0
+    #: Human-readable reason for the truncation, when one happened.
+    truncation_reason: str | None = None
+
+    @property
+    def last_lsn(self) -> int:
+        return self.frames[-1]["lsn"] if self.frames else 0
+
+
+class WriteAheadLog:
+    """One append-only JSONL log file plus its durability policy."""
+
+    def __init__(self, path: str | Path, *, sync_policy: str = "always") -> None:
+        if sync_policy not in ("always", "batch", "never"):
+            raise ValueError(f"unknown sync policy {sync_policy!r}")
+        self.path = Path(path)
+        self.sync_policy = sync_policy
+        self._file = None
+        self._next_lsn = 1
+
+    # ------------------------------------------------------------------
+    # Opening and torn-tail recovery
+    # ------------------------------------------------------------------
+    def open(self) -> WALOpenReport:
+        """Scan the log, truncate any torn tail, and position for appends."""
+        report = WALOpenReport()
+        if self.path.exists():
+            report = self._scan_and_truncate()
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._next_lsn = report.last_lsn + 1
+        return report
+
+    def _scan_and_truncate(self) -> WALOpenReport:
+        report = WALOpenReport()
+        raw = self.path.read_bytes()
+        good_end = 0
+        # Compaction drops a prefix, so the first frame anchors the
+        # sequence; every later frame must follow it without gaps.
+        expected_lsn: int | None = None
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                report.truncation_reason = "unterminated final frame"
+                break
+            line = raw[offset : newline + 1]
+            frame = self._parse_frame(line, expected_lsn, report)
+            if frame is None:
+                break
+            report.frames.append(frame)
+            good_end = newline + 1
+            offset = newline + 1
+            expected_lsn = frame["lsn"] + 1
+        else:
+            good_end = len(raw)
+        if good_end < len(raw):
+            report.truncated_bytes = len(raw) - good_end
+            with open(self.path, "r+b") as handle:
+                handle.truncate(good_end)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return report
+
+    def _parse_frame(
+        self, line: bytes, expected_lsn: int | None, report: WALOpenReport
+    ) -> dict | None:
+        position = f"lsn {expected_lsn}" if expected_lsn is not None else "log head"
+        try:
+            document = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            report.truncation_reason = f"unparsable frame at {position}"
+            return None
+        if not isinstance(document, dict) or "crc" not in document:
+            report.truncation_reason = f"malformed frame at {position}"
+            return None
+        crc = document.pop("crc")
+        payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+        if crc != codec.checksum(payload):
+            report.truncation_reason = f"checksum mismatch at {position}"
+            return None
+        if document.get("v") != WAL_SCHEMA_VERSION:
+            # An unknown version is not a torn tail: refuse loudly instead
+            # of silently dropping a log written by a newer build.
+            raise WALError(
+                f"WAL frame at {position} has schema version "
+                f"{document.get('v')!r}; this build reads {WAL_SCHEMA_VERSION}"
+            )
+        lsn = document.get("lsn")
+        if not isinstance(lsn, int) or lsn < 1 or (
+            expected_lsn is not None and lsn != expected_lsn
+        ):
+            report.truncation_reason = (
+                f"sequence break: expected {position}, found lsn {lsn!r}"
+            )
+            return None
+        return codec.decode(document)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    def append(self, op: str, payload: dict) -> int:
+        """Write one frame; returns its LSN.  Fsyncs per the sync policy."""
+        if self._file is None:
+            raise WALError("log is not open")
+        frame = {"v": WAL_SCHEMA_VERSION, "lsn": self._next_lsn, "op": op}
+        frame.update(codec.encode(payload))
+        body = json.dumps(frame, sort_keys=True, separators=(",", ":"))
+        frame["crc"] = codec.checksum(body)
+        self._file.write(
+            json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._file.flush()
+        if self.sync_policy == "always":
+            os.fsync(self._file.fileno())
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        return lsn
+
+    def tell(self) -> int:
+        """Current end-of-log byte offset (a frame boundary)."""
+        if self._file is None:
+            raise WALError("log is not open")
+        return self._file.tell()
+
+    def rollback_last(self, offset: int, lsn: int) -> None:
+        """Physically retract the frame appended at ``offset``/``lsn``.
+
+        Used when the in-memory apply of a just-logged frame fails: the
+        frame would otherwise poison every future recovery (replay would
+        deterministically fail on it).  Only valid for the most recent
+        append.
+        """
+        if self._file is None:
+            raise WALError("log is not open")
+        if lsn != self._next_lsn - 1:
+            raise WALError("rollback_last may only retract the latest frame")
+        self._file.truncate(offset)
+        # O_APPEND writes always land at EOF, but tell() would keep
+        # reporting the pre-truncation position — resync it so the next
+        # frame's recorded offset is the real boundary.
+        self._file.seek(0, os.SEEK_END)
+        self._file.flush()
+        if self.sync_policy != "never":
+            os.fsync(self._file.fileno())
+        self._next_lsn = lsn
+
+    def ensure_next_lsn(self, minimum: int) -> None:
+        """Advance the append position (after a compacted log reopens empty,
+        the snapshot — not the log — carries the durable horizon)."""
+        if self._next_lsn < minimum:
+            self._next_lsn = minimum
+
+    def sync(self) -> None:
+        """Explicit fsync barrier (group commit for ``"batch"`` policy)."""
+        if self._file is not None and self.sync_policy != "never":
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    # Compaction support
+    # ------------------------------------------------------------------
+    def truncate_through(self, lsn: int) -> int:
+        """Drop every frame with ``frame.lsn <= lsn`` (atomic rewrite).
+
+        Called by compaction after a snapshot has made the prefix
+        redundant.  Returns the number of frames retained.  The rewrite
+        goes through a temp file + ``os.replace`` + directory fsync, so a
+        crash mid-compaction leaves either the old or the new log, never a
+        mix.
+        """
+        self.close()
+        retained: list[str] = []
+        if self.path.exists():
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    try:
+                        document = json.loads(line)
+                    except ValueError:
+                        break
+                    if document.get("lsn", 0) > lsn:
+                        retained.append(line)
+        tmp = self.path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.writelines(retained)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        _fsync_directory(self.path.parent)
+        self._file = open(self.path, "a", encoding="utf-8")
+        return len(retained)
+
+    def close(self) -> None:
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+            self._file = None
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Flush a rename to disk (no-op on platforms without dir fds)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -7,37 +7,17 @@ from fractions import Fraction
 
 import pytest
 
-from repro.algorithms import (
-    AdaptivePMA,
-    ClassicalPMA,
-    DeamortizedPMA,
-    LearnedLabeler,
-    NaiveLabeler,
-    NoisyPredictor,
-    RandomizedPMA,
-    SparseNaiveLabeler,
-)
+from repro.algorithms import AdaptivePMA, ClassicalPMA, NaiveLabeler
 from repro.core import Embedding, ShardedLabeler
 from repro.core.layered import make_corollary11_labeler
 from repro.core.validation import check_labeler
+from repro.store.factories import EXACT_SNAPSHOT_ALGORITHMS, SHARD_FACTORIES
 
-
-def _learned_factory(capacity, num_slots=None):
-    keys = [Fraction(i) for i in range(1, capacity + 1)]
-    return LearnedLabeler(
-        capacity, num_slots, predictor=NoisyPredictor(keys, eta=max(1, capacity // 64))
-    )
-
-
-#: name -> factory(capacity) for every standalone algorithm.
+#: name -> factory(capacity) for every standalone algorithm — one registry
+#: with the durable store (same names, same seeds), so the crash-recovery
+#: differential and the algorithm suites always cover the same universe.
 ALGORITHM_FACTORIES = {
-    "naive": lambda capacity: NaiveLabeler(capacity),
-    "sparse-naive": lambda capacity: SparseNaiveLabeler(capacity),
-    "classical": lambda capacity: ClassicalPMA(capacity),
-    "deamortized": lambda capacity: DeamortizedPMA(capacity),
-    "randomized": lambda capacity: RandomizedPMA(capacity, seed=1234),
-    "adaptive": lambda capacity: AdaptivePMA(capacity),
-    "learned": lambda capacity: _learned_factory(capacity),
+    name: SHARD_FACTORIES[name] for name in EXACT_SNAPSHOT_ALGORITHMS
 }
 
 #: name -> factory(capacity) for the composite structures of the paper.

@@ -32,12 +32,15 @@ from repro.perf.baseline import (
     DEFAULT_SEED,
     MOVE_METRICS,
     SCHEMA_VERSION,
+    TRAJECTORY_LIMIT,
     WALL_CLOCK_METRICS,
+    append_trajectory,
     baseline_filename,
     compare_baselines,
     generate_suite,
     load_baseline,
     strip_wall_clock,
+    trajectory_entry,
     write_baseline,
 )
 
@@ -52,7 +55,7 @@ def _committed(suite: str) -> dict:
 
 
 class TestCommittedBaselines:
-    @pytest.mark.parametrize("suite", ["core", "sharded"])
+    @pytest.mark.parametrize("suite", ["core", "sharded", "store"])
     def test_schema(self, suite):
         document = _committed(suite)
         assert document["schema_version"] == SCHEMA_VERSION
@@ -150,6 +153,22 @@ class TestComparator:
         assert not comparison.ok
         assert any("diverged" in failure for failure in comparison.failures)
 
+    def test_recovery_divergence_fails(self):
+        # The store suite's correctness flag gets the same hard-fail
+        # treatment as moves_match — a broken recovery must never ride
+        # through CI as a mere drift warning.
+        baseline = _quick_core_document()
+        baseline["scenarios"]["insert_heavy"]["sizes"]["512"][
+            "recovered_match"
+        ] = True
+        fresh = copy.deepcopy(baseline)
+        fresh["scenarios"]["insert_heavy"]["sizes"]["512"][
+            "recovered_match"
+        ] = False
+        comparison = compare_baselines(baseline, fresh)
+        assert not comparison.ok
+        assert any("recovered" in failure for failure in comparison.failures)
+
     def test_wall_clock_slowdown_only_warns(self):
         baseline = _quick_core_document()
         fresh = copy.deepcopy(baseline)
@@ -238,6 +257,102 @@ class TestCli:
         assert written == document
 
 
+class TestTrajectory:
+    """Every run leaves a history record inside the baseline files."""
+
+    def test_compare_appends_trajectory_to_baseline_file(
+        self, tmp_path, monkeypatch
+    ):
+        baseline = _quick_core_document()
+        path = write_baseline(tmp_path / baseline_filename("core"), baseline)
+        monkeypatch.setattr(
+            perf_cli,
+            "generate_suite",
+            lambda suite, quick, seed: copy.deepcopy(baseline),
+        )
+        for expected_length in (1, 2):
+            code = perf_cli.main(
+                ["compare", "--quick", "--suite", "core",
+                 "--baseline-dir", str(tmp_path)]
+            )
+            assert code == 0
+            history = load_baseline(path).get("trajectory", [])
+            assert len(history) == expected_length
+        entry = history[-1]
+        assert entry["event"] == "compare"
+        assert entry["ok"] is True
+        assert entry["seed"] == DEFAULT_SEED
+        assert entry["metrics"]["insert_heavy@512.moves"] == 6000
+        # Only deterministic cost metrics are recorded, never wall clock.
+        assert not any(
+            metric.split(".")[-1] in WALL_CLOCK_METRICS
+            for metric in entry["metrics"]
+        )
+
+    def test_failing_compare_still_records_the_outcome(
+        self, tmp_path, monkeypatch
+    ):
+        baseline = _quick_core_document()
+        path = write_baseline(tmp_path / baseline_filename("core"), baseline)
+        fresh = copy.deepcopy(baseline)
+        fresh["scenarios"]["insert_heavy"]["sizes"]["512"]["moves"] = 60000
+        monkeypatch.setattr(
+            perf_cli, "generate_suite", lambda suite, quick, seed: fresh
+        )
+        code = perf_cli.main(
+            ["compare", "--quick", "--suite", "core",
+             "--baseline-dir", str(tmp_path)]
+        )
+        assert code == 1
+        entry = load_baseline(path)["trajectory"][-1]
+        assert entry["ok"] is False
+        assert entry["failures"] >= 1
+        assert entry["metrics"]["insert_heavy@512.moves"] == 60000
+
+    def test_no_trajectory_flag_opts_out(self, tmp_path, monkeypatch):
+        baseline = _quick_core_document()
+        path = write_baseline(tmp_path / baseline_filename("core"), baseline)
+        monkeypatch.setattr(
+            perf_cli,
+            "generate_suite",
+            lambda suite, quick, seed: copy.deepcopy(baseline),
+        )
+        perf_cli.main(
+            ["compare", "--quick", "--suite", "core",
+             "--baseline-dir", str(tmp_path), "--no-trajectory"]
+        )
+        assert "trajectory" not in load_baseline(path)
+
+    def test_generate_carries_history_forward(self, tmp_path, monkeypatch):
+        old = _quick_core_document()
+        old["trajectory"] = [{"event": "compare", "seed": 1, "metrics": {}}]
+        path = write_baseline(tmp_path / baseline_filename("core"), old)
+        document = _quick_core_document()
+        monkeypatch.setattr(
+            perf_cli, "generate_suite", lambda suite, quick, seed: document
+        )
+        perf_cli.main(
+            ["generate", "--quick", "--suite", "core", "--out", str(tmp_path)]
+        )
+        history = load_baseline(path)["trajectory"]
+        assert len(history) == 2
+        assert history[0]["event"] == "compare"   # preserved
+        assert history[1]["event"] == "generate"  # this refresh
+
+    def test_history_is_bounded(self):
+        document = _quick_core_document()
+        for index in range(TRAJECTORY_LIMIT + 25):
+            append_trajectory(
+                document, trajectory_entry(document, event="compare")
+            )
+        assert len(document["trajectory"]) == TRAJECTORY_LIMIT
+
+    def test_committed_baselines_carry_history(self):
+        for suite in ("core", "sharded", "store"):
+            history = _committed(suite).get("trajectory", [])
+            assert history, f"BENCH_{suite}.json has an empty trajectory"
+
+
 def _run_in_fresh_process(script: str) -> str:
     """Run ``script`` in a fresh interpreter (its own hash randomization)."""
     completed = subprocess.run(
@@ -257,16 +372,16 @@ class TestDeterminism:
         script = (
             "import json\n"
             "from repro.perf.baseline import generate_suite, strip_wall_clock\n"
-            "for suite in ('core', 'sharded'):\n"
+            "for suite in ('core', 'sharded', 'store'):\n"
             "    doc = strip_wall_clock(generate_suite(suite, quick=True, seed=4242))\n"
             "    print(json.dumps(doc, sort_keys=True))\n"
         )
         first = _run_in_fresh_process(script)
         second = _run_in_fresh_process(script)
         assert first == second
-        # Sanity: the output really is the two suite documents.
+        # Sanity: the output really is the three suite documents.
         lines = first.strip().splitlines()
-        assert len(lines) == 2
+        assert len(lines) == 3
         for line in lines:
             document = json.loads(line)
             for metrics in (

@@ -1,0 +1,813 @@
+"""The durable store's test wall: crash injection, concurrency, stateful.
+
+Four fences:
+
+* **Crash-injection differential** — a seeded mixed workload is recorded
+  through the store; the WAL is then "killed" at every frame boundary
+  (and mid-frame, for the torn-tail path), recovery is run on the
+  truncated copy, and the recovered state must be *byte-identical* — key
+  order, composed labels, ``items()``, per-shard physical layout — to an
+  uninterrupted in-memory run of the same acknowledged prefix.  This runs
+  for **every** registered shard algorithm (the exact-snapshot contract)
+  plus a 10k-op flagship workload on the default algorithm (sampled
+  boundaries by default; ``REPRO_STORE_EXHAUSTIVE=1``, as set by the CI
+  ``store-recovery`` job, kills at every single boundary).
+* **Concurrent serving** — a multi-threaded driver hammers one
+  :class:`~repro.store.service.StoreService` with interleaved readers,
+  writers and a background compactor; every scan must be sorted and
+  consistent, and the final durable state must equal the writers' merged
+  effect — also after a reopen from disk.
+* **Stateful fuzzing** — a hypothesis :class:`RuleBasedStateMachine`
+  interleaves puts/deletes/batches with snapshot, compaction, clean
+  reopens and torn-tail crashes, checking the model after every rule.
+* **Empty-state round-trips** (regression) — ``snapshot → restore →
+  insert`` works from the empty state for the sharding engine, the map,
+  and the store; consistency checks and iteration paths hold immediately
+  after the restore.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import tempfile
+import threading
+from pathlib import Path
+
+import pytest
+from hypothesis import settings, strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.applications.ordered_map import DurableMap, PackedMemoryMap
+from repro.core.sharded import ShardedLabeler
+from repro.store import codec
+from repro.store.harness import (
+    RecordedRun,
+    ReferenceStore,
+    apply_to_store,
+    crash_copy,
+    fingerprint,
+    logical_operations,
+    make_ops,
+)
+from repro.store.factories import EXACT_SNAPSHOT_ALGORITHMS
+from repro.store.service import StoreService
+from repro.store.snapshot import list_snapshots
+from repro.store.store import WAL_FILENAME, DurableStore, StoreError
+from repro.store.wal import WALError, WriteAheadLog
+
+#: Exhaustive mode (CI store-recovery job): kill at *every* frame boundary
+#: of the flagship workload instead of a deterministic sample.
+EXHAUSTIVE = os.environ.get("REPRO_STORE_EXHAUSTIVE", "") not in ("", "0")
+
+#: Every algorithm with an exact snapshot format (the layered
+#: ``corollary11`` restores via the elements fallback and has its own
+#: logical-contract test).
+EXACT_ALGORITHMS = list(EXACT_SNAPSHOT_ALGORITHMS)
+
+
+# ---------------------------------------------------------------------------
+# Crash-injection differential: every algorithm, every frame boundary
+# ---------------------------------------------------------------------------
+def test_every_suite_algorithm_is_crash_tested(algorithm_name):
+    """The differential's universe covers all of ALGORITHM_FACTORIES."""
+    assert algorithm_name in EXACT_ALGORITHMS
+
+
+class TestCrashInjectionDifferential:
+    FRAMES = 110
+    SNAPSHOT_EVERY = 30
+    SHARD_CAPACITY = 16
+
+    @pytest.fixture(params=EXACT_ALGORITHMS)
+    def recorded(self, request, tmp_path):
+        ops = make_ops(self.FRAMES, seed=97)
+        return RecordedRun(
+            tmp_path,
+            request.param,
+            ops,
+            shard_capacity=self.SHARD_CAPACITY,
+            snapshot_every=self.SNAPSHOT_EVERY,
+        )
+
+    def test_every_frame_boundary_recovers_exactly(self, recorded, tmp_path):
+        """Kill at every boundary; recovery == the uninterrupted prefix."""
+        reference = ReferenceStore(recorded.algorithm, recorded.shard_capacity)
+        expected = fingerprint(reference.map)
+        for k in range(recorded.frames + 1):
+            if k > 0:
+                reference.apply(recorded.ops[k - 1])
+                expected = fingerprint(reference.map)
+            recovered = recorded.recover_at(tmp_path, k)
+            got = fingerprint(recovered.map)
+            assert got == expected, (
+                f"{recorded.algorithm}: recovery at frame {k} diverged from "
+                f"the uninterrupted run"
+            )
+            # Snapshots must actually shorten the replay: past the first
+            # checkpoint, strictly fewer frames than the full prefix.
+            if k > self.SNAPSHOT_EVERY:
+                assert recovered.recovery.frames_replayed < k
+                assert recovered.recovery.snapshot_lsn > 0
+            recovered.verify()
+            recovered.close()
+
+    def test_mid_frame_kill_truncates_torn_tail(self, recorded, tmp_path):
+        """A partial frame on disk recovers to the previous boundary."""
+        reference = ReferenceStore(recorded.algorithm, recorded.shard_capacity)
+        sampled = {1, recorded.frames // 2, recorded.frames - 1}
+        applied = 0
+        for k in sorted(sampled):
+            while applied < k:
+                reference.apply(recorded.ops[applied])
+                applied += 1
+            next_frame = recorded.wal_bytes[
+                recorded.boundaries[k] : recorded.boundaries[k + 1]
+            ]
+            torn = next_frame[: max(1, len(next_frame) // 2)]
+            recovered = recorded.recover_at(tmp_path, k, extra_bytes=torn)
+            assert recovered.recovery.truncated_bytes == len(torn)
+            assert fingerprint(recovered.map) == fingerprint(reference.map)
+            recovered.close()
+
+
+class TestFlagshipWorkload:
+    """The 10k-op mixed workload on the default (classical) shard profile."""
+
+    SNAPSHOT_EVERY = 120
+    SHARD_CAPACITY = 64
+
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        frames = 800
+        ops = make_ops(frames, seed=20260730)
+        while logical_operations(ops) < 10_000:
+            frames += 100
+            ops = make_ops(frames, seed=20260730)
+        return RecordedRun(
+            tmp_path_factory.mktemp("flagship"),
+            "classical",
+            ops,
+            shard_capacity=self.SHARD_CAPACITY,
+            snapshot_every=self.SNAPSHOT_EVERY,
+        )
+
+    def test_workload_is_10k_mixed_ops(self, recorded):
+        assert logical_operations(recorded.ops) >= 10_000
+        kinds = {op[0] for op in recorded.ops}
+        assert kinds == {"put", "del", "put_many", "del_many"}
+
+    def test_kill_points_recover_exactly(self, recorded, tmp_path):
+        if EXHAUSTIVE:
+            kill_points = list(range(recorded.frames + 1))
+        else:
+            stride = max(1, recorded.frames // 40)
+            kill_points = sorted(
+                set(range(0, recorded.frames + 1, stride))
+                | {1, recorded.frames - 1, recorded.frames}
+            )
+        reference = ReferenceStore(recorded.algorithm, recorded.shard_capacity)
+        applied = 0
+        for k in kill_points:
+            while applied < k:
+                reference.apply(recorded.ops[applied])
+                applied += 1
+            recovered = recorded.recover_at(tmp_path, k)
+            assert fingerprint(recovered.map) == fingerprint(reference.map), (
+                f"flagship recovery at frame {k} diverged"
+            )
+            if k > self.SNAPSHOT_EVERY:
+                # Snapshot + tail replay, not a full-workload replay.
+                assert recovered.recovery.frames_replayed <= self.SNAPSHOT_EVERY
+            recovered.close()
+        # The rolling reference must land on the recorded final state.
+        while applied < recorded.frames:
+            reference.apply(recorded.ops[applied])
+            applied += 1
+        assert fingerprint(reference.map) == recorded.final_fingerprint
+
+
+# ---------------------------------------------------------------------------
+# Compaction: recovery after the log prefix is gone
+# ---------------------------------------------------------------------------
+class TestCompaction:
+    def test_recovery_replays_only_the_tail_after_compaction(self, tmp_path):
+        ops = make_ops(260, seed=5)
+        directory = tmp_path / "compacted"
+        store = DurableStore(
+            directory, algorithm="classical", shard_capacity=32,
+            sync_policy="never",
+        )
+        for index, op in enumerate(ops, start=1):
+            apply_to_store(store, op)
+            if index == 200:
+                store.compact()
+        expected = fingerprint(store.map)
+        store.close()
+        reopened = DurableStore(directory, sync_policy="never")
+        assert fingerprint(reopened.map) == expected
+        assert reopened.recovery.snapshot_lsn == 200
+        assert reopened.recovery.frames_replayed == 60
+        assert reopened.recovery.frames_replayed < len(ops)
+        reopened.verify()
+        reopened.close()
+
+    def test_kill_points_after_compaction_recover_exactly(self, tmp_path):
+        """Crash-inject inside the post-compaction tail of the WAL."""
+        ops = make_ops(240, seed=6)
+        directory = tmp_path / "tail"
+        store = DurableStore(
+            directory, algorithm="classical", shard_capacity=32,
+            sync_policy="never", snapshot_keep=10**6,
+        )
+        compact_at = 180
+        for index, op in enumerate(ops, start=1):
+            apply_to_store(store, op)
+            if index == compact_at:
+                store.compact()
+        store.close()
+
+        raw = (directory / WAL_FILENAME).read_bytes()
+        lines = raw.splitlines(keepends=True)
+        assert len(lines) == len(ops) - compact_at  # prefix truly dropped
+
+        reference = ReferenceStore("classical", 32)
+        for op in ops[:compact_at]:
+            reference.apply(op)
+        offset = 0
+        for j, line in enumerate([b""] + lines):
+            offset += len(line)
+            if j > 0:
+                reference.apply(ops[compact_at + j - 1])
+            workdir = tmp_path / f"tail-kill-{j}"
+            crash_copy(
+                directory,
+                workdir,
+                wal_bytes=raw[:offset],
+                max_snapshot_lsn=compact_at + j,
+            )
+            recovered = DurableStore(workdir, sync_policy="never")
+            assert fingerprint(recovered.map) == fingerprint(reference.map), (
+                f"post-compaction recovery at tail frame {j} diverged"
+            )
+            assert recovered.recovery.snapshot_lsn == compact_at
+            assert recovered.recovery.frames_replayed == j
+            recovered.close()
+
+    def test_auto_compaction_threshold(self, tmp_path):
+        store = DurableStore(
+            tmp_path / "auto", algorithm="classical", shard_capacity=32,
+            sync_policy="never", compact_every=50,
+        )
+        for op in make_ops(175, seed=8):
+            apply_to_store(store, op)
+        assert store.wal_frames_since_snapshot < 50
+        assert len(list_snapshots(store.directory)) >= 1
+        expected = fingerprint(store.map)
+        store.close()
+        reopened = DurableStore(tmp_path / "auto", sync_policy="never")
+        assert fingerprint(reopened.map) == expected
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# The elements-fallback contract (layered shards restore via bulk_load)
+# ---------------------------------------------------------------------------
+class TestFallbackSnapshotContract:
+    def test_layered_shards_recover_contents_and_order(self, tmp_path):
+        """`corollary11` shards use the `elements` fallback: recovery must
+        reproduce keys, items and sorted order (the logical contract),
+        though not necessarily the identical physical slots."""
+        ops = make_ops(90, seed=11)
+        directory = tmp_path / "layered"
+        store = DurableStore(
+            directory, algorithm="corollary11", shard_capacity=32,
+            sync_policy="never",
+        )
+        for index, op in enumerate(ops, start=1):
+            apply_to_store(store, op)
+            if index == 45:
+                store.snapshot()
+        expected_items = list(store.items())
+        store.close()
+        reopened = DurableStore(directory, sync_policy="never")
+        assert list(reopened.items()) == expected_items
+        assert reopened.keys() == sorted(reopened.keys())
+        reopened.verify()
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# WAL unit fences
+# ---------------------------------------------------------------------------
+class TestWriteAheadLog:
+    def _frames(self, path: Path) -> list[dict]:
+        wal = WriteAheadLog(path, sync_policy="never")
+        report = wal.open()
+        wal.close()
+        return report.frames
+
+    def test_append_and_reopen(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path, sync_policy="never")
+        wal.open()
+        wal.append("put", {"key": 1, "value": "a"})
+        wal.append("put_many", {"items": [[2, "b"], [3, "c"]]})
+        wal.close()
+        frames = self._frames(path)
+        assert [frame["op"] for frame in frames] == ["put", "put_many"]
+        assert [frame["lsn"] for frame in frames] == [1, 2]
+        assert frames[1]["items"] == [[2, "b"], [3, "c"]]
+
+    def test_partial_final_line_is_truncated(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path, sync_policy="never")
+        wal.open()
+        for i in range(5):
+            wal.append("put", {"key": i, "value": i})
+        wal.close()
+        intact = path.read_bytes()
+        path.write_bytes(intact + b'{"v": 1, "lsn": 6, "op": "put"')
+        wal2 = WriteAheadLog(path, sync_policy="never")
+        report = wal2.open()
+        wal2.close()
+        assert len(report.frames) == 5
+        assert report.truncated_bytes > 0
+        assert path.read_bytes() == intact  # physically truncated back
+
+    def test_corrupted_crc_truncates_from_there(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path, sync_policy="never")
+        wal.open()
+        for i in range(6):
+            wal.append("put", {"key": i, "value": i})
+        wal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        flipped = lines[3].replace(b'"key":3', b'"key":9')
+        path.write_bytes(b"".join(lines[:3] + [flipped] + lines[4:]))
+        report = WriteAheadLog(path, sync_policy="never").open()
+        assert len(report.frames) == 3
+        assert "checksum" in report.truncation_reason
+
+    def test_lsn_gap_truncates(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        wal = WriteAheadLog(path, sync_policy="never")
+        wal.open()
+        for i in range(6):
+            wal.append("put", {"key": i, "value": i})
+        wal.close()
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:3] + lines[4:]))  # drop frame 4
+        report = WriteAheadLog(path, sync_policy="never").open()
+        assert len(report.frames) == 3
+        assert "sequence break" in report.truncation_reason
+
+    def test_unknown_schema_version_refuses(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        import json
+
+        frame = {"v": 999, "lsn": 1, "op": "put", "key": 1, "value": 1}
+        body = json.dumps(frame, sort_keys=True, separators=(",", ":"))
+        frame["crc"] = codec.checksum(body)
+        path.write_text(
+            json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        with pytest.raises(WALError):
+            WriteAheadLog(path, sync_policy="never").open()
+
+    def test_batch_frame_is_atomic_under_tearing(self, tmp_path):
+        """A torn batch frame recovers to *zero* of its operations."""
+        directory = tmp_path / "atomic"
+        store = DurableStore(
+            directory, algorithm="classical", shard_capacity=32,
+            sync_policy="never",
+        )
+        store.put(1, "one")
+        store.put_many([(10, "a"), (11, "b"), (12, "c"), (13, "d")])
+        store.close()
+        raw = (directory / WAL_FILENAME).read_bytes()
+        lines = raw.splitlines(keepends=True)
+        torn = lines[0] + lines[1][: len(lines[1]) // 2]
+        (directory / WAL_FILENAME).write_bytes(torn)
+        recovered = DurableStore(directory, sync_policy="never")
+        assert recovered.keys() == [1]  # the batch is all-or-nothing
+        recovered.close()
+
+
+class TestCodec:
+    def test_round_trips(self):
+        from fractions import Fraction
+
+        samples = [
+            None,
+            True,
+            -17,
+            3.5,
+            "plain",
+            "$looks-tagged",
+            Fraction(22, 7),
+            (1, (2, "x"), Fraction(1, 3)),
+            b"\x00\xffbytes",
+            {"nested": [1, {"deep": (Fraction(5, 9),)}]},
+            {"$frac": "escaped-key-collision"},
+            {3: "int-keyed", (1, 2): "tuple-keyed"},
+        ]
+        for value in samples:
+            assert codec.loads(codec.dumps(value)) == value
+
+    def test_canonical_dumps_is_stable(self):
+        value = {"b": 2, "a": [1, (2, 3)]}
+        assert codec.dumps(value) == codec.dumps(dict(reversed(value.items())))
+
+
+# ---------------------------------------------------------------------------
+# Store-level edges
+# ---------------------------------------------------------------------------
+class TestStoreEdges:
+    def test_delete_missing_key_does_not_log(self, tmp_path):
+        store = DurableStore(tmp_path / "s", sync_policy="never")
+        with pytest.raises(KeyError):
+            store.delete(42)
+        with pytest.raises(KeyError):
+            store.delete_many([42])
+        assert store.last_lsn == 0
+        store.close()
+
+    def test_failed_apply_retracts_the_frame(self, tmp_path):
+        """A mutation that fails in memory must not leave a poison WAL
+        frame — replay would deterministically fail on it and the store
+        could never be reopened."""
+        store = DurableStore(tmp_path / "s", sync_policy="never")
+        store.put(1, "one")
+        with pytest.raises(TypeError):
+            store.put("not-comparable-to-ints", "x")
+        with pytest.raises(TypeError):
+            store.put_many([(2, "two"), ("mixed", "y")])
+        assert store.last_lsn == 1          # both frames were retracted
+        store.put(2, "two")                 # the store keeps working
+        expected = list(store.items())
+        store.close()
+        reopened = DurableStore(tmp_path / "s", sync_policy="never")
+        assert list(reopened.items()) == expected
+        reopened.close()
+
+    def test_fallback_below_compaction_horizon_refuses(self, tmp_path):
+        """A corrupt newest snapshot + a compacted WAL must fail loudly,
+        not silently recover acknowledged writes away."""
+        store = DurableStore(
+            tmp_path / "s", algorithm="classical", shard_capacity=32,
+            sync_policy="never", snapshot_keep=10**6,
+        )
+        for i in range(10):
+            store.put(i, i)
+        store.compact()                     # snapshot lsn 10
+        for i in range(10, 20):
+            store.put(i, i)
+        store.compact()                     # snapshot lsn 20, WAL empty
+        store.close()
+        newest = list_snapshots(tmp_path / "s")[-1]
+        (newest.path / "shard-0000.json").write_text("garbage")
+        with pytest.raises(StoreError, match="compacted through lsn 20"):
+            DurableStore(tmp_path / "s", sync_policy="never")
+
+    def test_second_live_open_is_refused(self, tmp_path):
+        """Two writers on one directory would interleave LSNs and let the
+        next recovery truncate acknowledged frames — the lock makes the
+        second open fail loudly instead."""
+        first = DurableStore(tmp_path / "s", sync_policy="never")
+        with pytest.raises(StoreError, match="locked"):
+            DurableStore(tmp_path / "s", sync_policy="never")
+        first.close()
+        second = DurableStore(tmp_path / "s", sync_policy="never")
+        second.close()
+
+    def test_cli_refuses_missing_store_directory(self, tmp_path, capsys):
+        from repro.store.__main__ import main as store_cli
+
+        for command in ("verify", "recover", "compact", "snapshot"):
+            with pytest.raises(SystemExit, match="no store at"):
+                store_cli([command, "--dir", str(tmp_path / "nowhere")])
+            assert not (tmp_path / "nowhere").exists()
+        # --create initializes explicitly, and the store is then openable.
+        assert store_cli(["recover", "--dir", str(tmp_path / "fresh"),
+                          "--create", "--sync", "never"]) == 0
+        assert store_cli(["verify", "--dir", str(tmp_path / "fresh"),
+                          "--sync", "never"]) == 0
+
+    def test_reopen_with_other_algorithm_refuses(self, tmp_path):
+        store = DurableStore(tmp_path / "s", algorithm="classical")
+        store.close()
+        with pytest.raises(StoreError):
+            DurableStore(tmp_path / "s", algorithm="naive")
+
+    def test_reopen_with_other_shard_capacity_refuses(self, tmp_path):
+        store = DurableStore(tmp_path / "s", shard_capacity=64)
+        store.close()
+        with pytest.raises(StoreError):
+            DurableStore(tmp_path / "s", shard_capacity=32)
+
+    def test_corrupt_snapshot_falls_back_to_older(self, tmp_path):
+        directory = tmp_path / "s"
+        store = DurableStore(
+            directory, algorithm="classical", shard_capacity=32,
+            sync_policy="never", snapshot_keep=10**6,
+        )
+        ops = make_ops(80, seed=12)
+        for index, op in enumerate(ops, start=1):
+            apply_to_store(store, op)
+            if index in (40, 80):
+                store.snapshot()
+        expected = fingerprint(store.map)
+        store.close()
+        newest = list_snapshots(directory)[-1]
+        (newest.path / "shard-0000.json").write_text("garbage")
+        recovered = DurableStore(directory, sync_policy="never")
+        assert recovered.recovery.snapshot_lsn == 40  # fell back
+        assert fingerprint(recovered.map) == expected
+        recovered.close()
+
+    def test_durable_map_round_trip(self, tmp_path):
+        with DurableMap(
+            tmp_path / "m", algorithm="classical", shard_capacity=32,
+            sync_policy="never",
+        ) as index:
+            index["alice"] = 1
+            index.update_many([("bob", 2), ("carol", 3)])
+            del index["alice"]
+            index.checkpoint()
+            index["dave"] = 4
+            expected = list(index.items())
+            label = index.label_of("bob")
+        reopened = DurableMap(tmp_path / "m", sync_policy="never")
+        assert list(reopened.items()) == expected
+        assert reopened.recovery.frames_replayed == 1
+        assert reopened.label_of("bob") == label
+        assert reopened.predecessor("carol") == "bob"
+        reopened.check()
+        reopened.close()
+
+    def test_durable_runner_replays_exactly(self, tmp_path):
+        from repro.algorithms import make_sharded_labeler
+        from repro.analysis import replay_run, run_workload
+        from repro.workloads.random_uniform import RandomWorkload
+
+        labeler = make_sharded_labeler(shard_capacity=64)
+        workload = RandomWorkload(300, capacity=300, delete_fraction=0.3, seed=3)
+        result = run_workload(
+            labeler, workload, batch_size=16,
+            durable_dir=tmp_path / "run", durable_sync="never",
+        )
+        assert result.wal_frames > 0
+        twin = make_sharded_labeler(shard_capacity=64)
+        replayed = replay_run(tmp_path / "run", twin)
+        assert replayed.wal_frames == result.wal_frames
+        assert tuple(twin.slots()) == tuple(labeler.slots())
+
+
+# ---------------------------------------------------------------------------
+# Empty-state round-trips (regression: satellite 2)
+# ---------------------------------------------------------------------------
+class TestEmptyStateRoundTrips:
+    def test_sharded_empty_snapshot_restore_insert(self, algorithm_factory):
+        engine = ShardedLabeler(algorithm_factory, shard_capacity=16)
+        twin = ShardedLabeler(algorithm_factory, shard_capacity=16)
+        twin.restore(engine.snapshot())
+        twin.check_consistency()          # regression: used to assume >=1 key
+        assert twin.shard_statistics()["shards"] >= 1.0
+        assert list(twin.elements()) == []
+        assert twin.labels() == {}
+        twin.insert(1, "first")
+        twin.check_consistency()
+        assert list(twin.elements()) == ["first"]
+
+    def test_sharded_zero_shard_snapshot_restores_to_canonical_empty(self):
+        from repro.algorithms import ClassicalPMA
+
+        engine = ShardedLabeler(lambda cap: ClassicalPMA(cap), shard_capacity=16)
+        state = engine.snapshot()
+        state["shards"] = []              # a degenerate (but legal) document
+        twin = ShardedLabeler(lambda cap: ClassicalPMA(cap), shard_capacity=16)
+        twin.restore(state)
+        assert twin.shard_count == 1      # canonical empty state, not zero
+        twin.check_consistency()
+        twin.insert(1, "x")
+        twin.check_consistency()
+
+    def test_map_empty_round_trip_iteration_paths(self):
+        source = PackedMemoryMap()
+        target = PackedMemoryMap()
+        target.restore_state(source.snapshot_state())
+        assert list(target.items()) == []
+        assert target.keys() == []
+        assert list(target.range(0, 10**9)) == []
+        target.check()
+        target["k"] = "v"
+        assert list(target.items()) == [("k", "v")]
+        target.check()
+
+    def test_store_empty_snapshot_restore_insert(self, tmp_path):
+        store = DurableStore(
+            tmp_path / "empty", algorithm="classical", shard_capacity=32,
+            sync_policy="never",
+        )
+        store.snapshot()                  # checkpoint of the empty state
+        store.close()
+        reopened = DurableStore(tmp_path / "empty", sync_policy="never")
+        assert reopened.recovery.snapshot_lsn == 0 or not reopened.keys()
+        assert list(reopened.items()) == []
+        reopened.verify()
+        reopened.put(1, "one")
+        reopened.verify()
+        expected = list(reopened.items())
+        reopened.close()
+        again = DurableStore(tmp_path / "empty", sync_policy="never")
+        assert list(again.items()) == expected
+        again.close()
+
+
+# ---------------------------------------------------------------------------
+# Concurrency: interleaved readers / writers / compactor
+# ---------------------------------------------------------------------------
+class TestStoreService:
+    WRITERS = 4
+    READERS = 3
+    KEYS_PER_WRITER = 120
+
+    def test_interleaved_readers_and_writers(self, tmp_path):
+        store = DurableStore(
+            tmp_path / "svc", algorithm="classical", shard_capacity=64,
+            sync_policy="never",
+        )
+        service = StoreService(store, stripes=8)
+        service.start_compactor(wal_frame_threshold=150, poll_seconds=0.002)
+        errors: list[BaseException] = []
+        stop_readers = threading.Event()
+        expected: dict = {}
+
+        def writer(slot: int) -> None:
+            try:
+                rng = random.Random(1000 + slot)
+                base = slot * 10**6
+                written: list[int] = []
+                for i in range(self.KEYS_PER_WRITER):
+                    key = base + i
+                    if written and rng.random() < 0.15:
+                        victim = written.pop(rng.randrange(len(written)))
+                        service.delete(victim)
+                        expected.pop(victim, None)
+                    elif rng.random() < 0.15:
+                        batch = [
+                            (base + 10**5 + i * 10 + j, f"w{slot}-b{i}-{j}")
+                            for j in range(4)
+                        ]
+                        service.put_many(batch)
+                        expected.update(batch)
+                    else:
+                        service.put(key, f"w{slot}-{i}")
+                        expected[key] = f"w{slot}-{i}"
+                        written.append(key)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        def reader(slot: int) -> None:
+            try:
+                rng = random.Random(2000 + slot)
+                while not stop_readers.is_set():
+                    choice = rng.random()
+                    if choice < 0.5:
+                        key = rng.randrange(self.WRITERS) * 10**6 + rng.randrange(
+                            self.KEYS_PER_WRITER
+                        )
+                        value = service.get(key)
+                        assert value is None or isinstance(value, str)
+                    elif choice < 0.8:
+                        low = rng.randrange(self.WRITERS) * 10**6
+                        scan = service.range_scan(low, low + 10**5)
+                        keys = [key for key, _ in scan]
+                        assert keys == sorted(keys)
+                        assert len(keys) == len(set(keys))
+                    else:
+                        items = service.snapshot_items()
+                        keys = [key for key, _ in items]
+                        assert keys == sorted(keys)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        writer_threads = [
+            threading.Thread(target=writer, args=(slot,))
+            for slot in range(self.WRITERS)
+        ]
+        reader_threads = [
+            threading.Thread(target=reader, args=(slot,))
+            for slot in range(self.READERS)
+        ]
+        for thread in writer_threads + reader_threads:
+            thread.start()
+        for thread in writer_threads:
+            thread.join(timeout=120)
+        stop_readers.set()
+        for thread in reader_threads:
+            thread.join(timeout=120)
+        service.stop_compactor()
+        assert not errors, errors[0]
+
+        # Writers own disjoint key ranges, so the merged dict is the truth.
+        assert dict(service.snapshot_items()) == expected
+        service.verify()
+        service.close()
+
+        reopened = DurableStore(tmp_path / "svc", sync_policy="never")
+        assert dict(reopened.items()) == expected
+        reopened.verify()
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: ops interleaved with snapshot / compact / recover rules
+# ---------------------------------------------------------------------------
+class DurableStoreMachine(RuleBasedStateMachine):
+    """Random ops + random durability events, checked against a dict model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.directory = Path(tempfile.mkdtemp(prefix="repro-store-machine-"))
+        self.model: dict = {}
+        self.store: DurableStore | None = None
+
+    @initialize()
+    def open_store(self) -> None:
+        self.store = DurableStore(
+            self.directory / "s", algorithm="classical", shard_capacity=16,
+            sync_policy="never",
+        )
+
+    @rule(key=st.integers(0, 40), value=st.integers())
+    def put(self, key, value) -> None:
+        self.store.put(key, value)
+        self.model[key] = value
+
+    @rule(key=st.integers(0, 40))
+    def delete(self, key) -> None:
+        if key in self.model:
+            self.store.delete(key)
+            del self.model[key]
+        else:
+            with pytest.raises(KeyError):
+                self.store.delete(key)
+
+    @rule(items=st.dictionaries(st.integers(0, 60), st.integers(), max_size=8))
+    def put_many(self, items) -> None:
+        if items:
+            self.store.put_many(sorted(items.items()))
+            self.model.update(items)
+
+    @rule(data=st.data())
+    def delete_many(self, data) -> None:
+        if not self.model:
+            return
+        keys = data.draw(
+            st.lists(st.sampled_from(sorted(self.model)), max_size=6, unique=True)
+        )
+        if keys:
+            self.store.delete_many(keys)
+            for key in keys:
+                del self.model[key]
+
+    @rule()
+    def snapshot(self) -> None:
+        self.store.snapshot()
+
+    @rule()
+    def compact(self) -> None:
+        self.store.compact()
+
+    @rule()
+    def clean_recover(self) -> None:
+        self.store.close()
+        self.store = DurableStore(self.directory / "s", sync_policy="never")
+
+    @rule(garbage=st.binary(min_size=1, max_size=40))
+    def torn_crash_recover(self, garbage) -> None:
+        self.store.close()
+        with open(self.directory / "s" / WAL_FILENAME, "ab") as handle:
+            handle.write(garbage)
+        self.store = DurableStore(self.directory / "s", sync_policy="never")
+
+    @invariant()
+    def matches_model(self) -> None:
+        if self.store is None:
+            return
+        assert list(self.store.items()) == sorted(self.model.items())
+        self.store.verify()
+
+    def teardown(self) -> None:
+        if self.store is not None:
+            self.store.close()
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+TestDurableStoreMachine = DurableStoreMachine.TestCase
+TestDurableStoreMachine.settings = settings(
+    max_examples=10, stateful_step_count=25, deadline=None
+)
