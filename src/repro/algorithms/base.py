@@ -18,7 +18,7 @@ which is what makes bulk loads cheap; subclasses customize the window choice
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Hashable, Iterator, Sequence
 
 from repro.core.fenwick import FenwickTree
 from repro.core.interface import ListLabeler
@@ -82,6 +82,28 @@ class DenseArrayLabeler(ListLabeler):
     def rank_of(self, element: Hashable) -> int:
         """1-based rank of ``element`` (``O(log m)`` via the occupancy index)."""
         return self.rank_at_slot(self.slot_of(element))
+
+    # ------------------------------------------------------------------
+    # Read path: occupancy-index selects and streaming slot walks
+    # ------------------------------------------------------------------
+    def select(self, rank: int) -> Hashable:
+        """The ``rank``-th element via one occupancy-index select (O(log m))."""
+        self._check_read_rank(rank, "select")
+        return self._slots[self._occupancy.select(rank)]
+
+    def _iter_from(self, rank: int) -> "Iterator[Hashable]":
+        """Seek the start slot once, then stream the slot slab rightward."""
+        if rank > self._size:
+            return
+        slots = self._slots
+        for index in range(self._occupancy.select(rank), self.num_slots):
+            item = slots[index]
+            if item is not None:
+                yield item
+
+    def count_range(self, lo: int, hi: int) -> int:
+        """Stored elements in the slot window ``[lo, hi)`` (Fenwick count)."""
+        return self._occupancy.count(max(0, lo), min(self.num_slots, hi))
 
     def free_slot_left(self, index: int) -> int | None:
         """Nearest free slot at or to the left of ``index`` (or ``None``)."""

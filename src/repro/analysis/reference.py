@@ -64,6 +64,52 @@ class ChunkedList:
         return [value for block in self._blocks for value in block]
 
     # ------------------------------------------------------------------
+    # Read (query) reference operations — the runner and the differential
+    # suites check labeler reads against these.
+    # ------------------------------------------------------------------
+    def select(self, rank: int):
+        """The value of the given 1-based rank (the labeler ``select`` twin)."""
+        if not 1 <= rank <= self._len:
+            raise IndexError(f"rank {rank} out of range (length {self._len})")
+        return self[rank - 1]
+
+    def iter_from(self, rank: int) -> Iterator:
+        """Lazily yield the values of ranks ``rank, rank+1, …``.
+
+        One block locate, then a streaming walk — the rank-domain twin of
+        the labeler cursor, at ``O(√n)`` seek instead of ``O(log m)``.
+        ``rank == len + 1`` yields nothing.
+        """
+        if not 1 <= rank <= self._len + 1:
+            raise IndexError(f"rank {rank} out of range (length {self._len})")
+        if rank > self._len:
+            return
+        block_index, offset = self._locate(rank - 1)
+        blocks = self._blocks
+        yield from blocks[block_index][offset:]
+        for later in range(block_index + 1, len(blocks)):
+            yield from blocks[later]
+
+    def range_ranks(self, lo: int, hi: int) -> list:
+        """Values with ranks in ``[lo, hi]`` (inclusive, 1-based, clamped)."""
+        lo = max(1, lo)
+        hi = min(self._len, hi)
+        if hi < lo:
+            return []
+        out = []
+        for value in self.iter_from(lo):
+            out.append(value)
+            if len(out) >= hi - lo + 1:
+                break
+        return out
+
+    def count_range(self, lo: int, hi: int) -> int:
+        """Number of stored ranks in ``[lo, hi]`` (inclusive, clamped)."""
+        lo = max(1, lo)
+        hi = min(self._len, hi)
+        return max(0, hi - lo + 1)
+
+    # ------------------------------------------------------------------
     def _locate(self, index: int) -> tuple[int, int]:
         """Block index and offset of sequence position ``index``."""
         remaining = index

@@ -37,8 +37,15 @@ from typing import Hashable, Sequence
 
 from repro.analysis.reference import ChunkedList
 from repro.core.cost import CostTracker
+from repro.core.exceptions import InvariantViolation
 from repro.core.interface import ListLabeler
-from repro.core.operations import Operation
+from repro.core.operations import (
+    COUNT_RANGE,
+    LOOKUP,
+    RANGE,
+    SELECT,
+    Operation,
+)
 from repro.core.validation import check_labeler
 from repro.workloads.base import Workload, synthesize_key
 
@@ -73,10 +80,17 @@ class RunResult:
 
     @property
     def ops_per_second(self) -> float:
-        """Logical-operation throughput of the run (wall-clock derived)."""
+        """Logical-operation throughput of the run (wall-clock derived).
+
+        Reads count: a read-heavy workload's throughput is dominated by its
+        queries, which the tracker records separately from the move-cost
+        events.  For write-only runs this is unchanged.
+        """
         if self.elapsed_seconds <= 0.0:
             return 0.0
-        return self.tracker.operations / self.elapsed_seconds
+        return (
+            self.tracker.operations + self.tracker.queries
+        ) / self.elapsed_seconds
 
     def summary(self) -> dict[str, float]:
         data = self.tracker.summary()
@@ -259,6 +273,75 @@ def _validate(labeler: ListLabeler, reference: ChunkedList) -> None:
     check_labeler(labeler, expected=reference.to_list())
 
 
+def _execute_read(
+    labeler: ListLabeler,
+    reference: ChunkedList,
+    operation: Operation,
+    tracker: CostTracker,
+) -> None:
+    """Serve one read op and verify it against the reference model inline.
+
+    Every query is checked as it runs — a wrong answer raises
+    :class:`InvariantViolation` immediately, so a completed read-heavy run
+    certifies every one of its reads.  Reads are recorded through
+    :meth:`CostTracker.record_query` (they never contribute element moves).
+    Interval bounds are clamped to the current size, so a workload may
+    address ``[rank, rank + span - 1]`` without tracking deletions exactly.
+    """
+    size = len(reference)
+    kind = operation.kind
+    if size == 0 or operation.rank > size:
+        tracker.record_query(kind, 0)
+        return
+    rank = operation.rank
+    if kind == SELECT:
+        value = labeler.select(rank)
+        expected = reference.select(rank)
+        if value != expected:
+            raise InvariantViolation(
+                f"select({rank}) returned {value!r}, reference holds {expected!r}"
+            )
+        tracker.record_query(kind, 1)
+    elif kind == LOOKUP:
+        key = operation.key if operation.key is not None else reference.select(rank)
+        found_rank = labeler.rank_of(key)
+        slot = labeler.slot_of(key)
+        if found_rank != rank:
+            raise InvariantViolation(
+                f"lookup({key!r}) resolved to rank {found_rank}, expected {rank}"
+            )
+        if labeler.slot_of_rank(rank) != slot:
+            raise InvariantViolation(
+                f"lookup({key!r}) label {slot} disagrees with slot_of_rank"
+            )
+        tracker.record_query(kind, 1)
+    elif kind == RANGE:
+        hi = min(operation.end_rank, size)
+        expected = reference.range_ranks(rank, hi)
+        got: list = []
+        for value in labeler.iter_from(rank):
+            got.append(value)
+            if len(got) >= hi - rank + 1:
+                break
+        if got != expected:
+            raise InvariantViolation(
+                f"range({rank}, {hi}) diverged from the reference model"
+            )
+        tracker.record_query(kind, len(got))
+    elif kind == COUNT_RANGE:
+        hi = min(operation.end_rank, size)
+        count = labeler.count_rank_range(rank, hi)
+        expected_count = reference.count_range(rank, hi)
+        if count != expected_count:
+            raise InvariantViolation(
+                f"count_range({rank}, {hi}) returned {count}, "
+                f"reference counts {expected_count}"
+            )
+        tracker.record_query(kind, count)
+    else:  # pragma: no cover - the operation model validates kinds
+        raise ValueError(f"unknown read kind {kind!r}")
+
+
 def _run_singleton(
     labeler: ListLabeler,
     workload: Workload,
@@ -273,6 +356,12 @@ def _run_singleton(
     for operation in workload:
         if stop_after is not None and executed >= stop_after:
             break
+        if operation.is_read:
+            _execute_read(labeler, reference, operation, tracker)
+            executed += 1
+            if validate_every and executed % validate_every == 0:
+                _validate(labeler, reference)
+            continue
         if operation.is_insert:
             key = operation.key
             if key is None:
@@ -312,11 +401,18 @@ def _run_batched(
             batch = batch[: stop_after - executed]
         if not batch:
             continue
-        if batch[0].is_insert:
+        if batch[0].is_read:
+            # Reads pass through one at a time: batching buys nothing for
+            # side-effect-free operations, and the inline verification
+            # wants each query against the current reference state.
+            for operation in batch:
+                _execute_read(labeler, reference, operation, tracker)
+        elif batch[0].is_insert:
             result = _execute_insert_batch(labeler, reference, batch, journal)
+            tracker.record_batch(result.cost, result.count)
         else:
             result = _execute_delete_batch(labeler, reference, batch, journal)
-        tracker.record_batch(result.cost, result.count)
+            tracker.record_batch(result.cost, result.count)
         executed += len(batch)
         if next_check is not None and executed >= next_check:
             _validate(labeler, reference)

@@ -9,6 +9,16 @@ the layered structure of Corollary 11, which gives the map bounded update
 latency, good expected throughput, and adaptivity to skewed key patterns all
 at once.
 
+The labeler *is* the sorted key index: the map keeps no shadow key list
+beside it.  Rank searches binary-search the labeler's ``select`` (``O(log n
+· log m)``), :meth:`PackedMemoryMap.range` streams through a labeler cursor
+(:meth:`~repro.core.interface.ListLabeler.iter_from` — one seek, then a
+lazy slot walk, never a whole-map materialization), and
+:meth:`PackedMemoryMap.count_range` counts a key interval without touching
+the elements in between.  ``range`` supports pagination (``limit`` +
+``after``), which is what lets the durable store's service scan in pages
+without pinning writers out for a whole-store pass.
+
 With ``capacity=None`` the map is **unbounded**: the layout is managed by a
 :class:`repro.core.sharded.ShardedLabeler` over fixed-capacity shards, so
 the map keeps absorbing keys indefinitely while every update stays local to
@@ -26,8 +36,6 @@ last durable operation (see :mod:`repro.store`).
 
 from __future__ import annotations
 
-import bisect
-import heapq
 from typing import Callable, Hashable, Iterable, Iterator
 
 from repro.core.cost import CostTracker
@@ -68,16 +76,44 @@ class PackedMemoryMap:
             )
         else:
             self._labeler = labeler_factory(capacity)
-        self._keys: list = []
         self._values: dict = {}
         #: Element-move cost of every update, in the paper's cost model.
         self.costs = CostTracker()
 
     # ------------------------------------------------------------------
+    # Rank search: binary search over the labeler's select
+    # ------------------------------------------------------------------
+    def _count_below(self, key, *, strict: bool, floor: int = 0) -> int:
+        """Number of stored keys ``< key`` (strict) or ``<= key``.
+
+        A binary search over ranks probing ``labeler.select`` — ``O(log n)``
+        probes of ``O(log m)`` each.  This replaces the bisect over the
+        shadow key list the map used to carry beside the labeler.
+        ``floor`` is a known lower bound on the answer (sorted batch loops
+        warm-start each search at the previous key's count).
+        """
+        labeler = self._labeler
+        lo, hi = floor, len(self._values)
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            probe = labeler.select(mid)
+            if probe < key if strict else probe <= key:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _count_less(self, key, floor: int = 0) -> int:
+        return self._count_below(key, strict=True, floor=floor)
+
+    def _count_le(self, key) -> int:
+        return self._count_below(key, strict=False)
+
+    # ------------------------------------------------------------------
     # Mapping interface
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._keys)
+        return len(self._values)
 
     def __contains__(self, key) -> bool:
         return key in self._values
@@ -92,10 +128,9 @@ class PackedMemoryMap:
         if key in self._values:
             self._values[key] = value
             return
-        rank = bisect.bisect_left(self._keys, key) + 1
+        rank = self._count_less(key) + 1
         result = self._labeler.insert(rank, key)
         self.costs.record(result.cost)
-        self._keys.insert(rank - 1, key)
         self._values[key] = value
 
     def update_many(self, items: Iterable[tuple[Hashable, object]]) -> int:
@@ -119,12 +154,13 @@ class PackedMemoryMap:
                 fresh[key] = value
         if fresh:
             new_keys = sorted(fresh)
-            batch = [
-                (bisect.bisect_left(self._keys, key) + 1, key) for key in new_keys
-            ]
+            batch = []
+            below = 0
+            for key in new_keys:  # ascending keys: counts are monotone
+                below = self._count_less(key, below)
+                batch.append((below + 1, key))
             result = self._labeler.insert_batch(batch)
             self.costs.record_batch(result.cost, result.count)
-            self._keys = list(heapq.merge(self._keys, new_keys))
             self._values.update(fresh)
         self._values.update(overwrites)
         return len(fresh)
@@ -132,10 +168,9 @@ class PackedMemoryMap:
     def __delitem__(self, key) -> None:
         if key not in self._values:
             raise KeyError(key)
-        rank = bisect.bisect_left(self._keys, key) + 1
+        rank = self._labeler.rank_of(key)
         result = self._labeler.delete(rank)
         self.costs.record(result.cost)
-        self._keys.pop(rank - 1)
         del self._values[key]
 
     def delete_many(self, keys: Iterable[Hashable]) -> int:
@@ -152,43 +187,82 @@ class PackedMemoryMap:
                 raise KeyError(key)
         if not targets:
             return 0
-        ranks = [bisect.bisect_left(self._keys, key) + 1 for key in targets]
+        ranks = [self._labeler.rank_of(key) for key in targets]
         result = self._labeler.delete_batch(ranks)
         self.costs.record_batch(result.cost, result.count)
-        for rank in reversed(ranks):
-            self._keys.pop(rank - 1)
         for key in targets:
             del self._values[key]
         return len(targets)
 
     # ------------------------------------------------------------------
-    # Ordered queries
+    # Ordered queries (served through the labeler's read protocol)
     # ------------------------------------------------------------------
     def keys(self) -> list:
         """All keys in sorted order (read off the physical array)."""
         return list(self._labeler.elements())
 
     def items(self) -> Iterator[tuple]:
-        for key in self._labeler.elements():
+        """All items in key order, streamed through a labeler cursor."""
+        for key in self._labeler.iter_from(1):
             yield key, self._values[key]
+
+    def select(self, rank: int):
+        """The ``rank``-th smallest key (1-based)."""
+        return self._labeler.select(rank)
+
+    def rank_of(self, key) -> int:
+        """1-based rank of a stored key (``KeyError`` when absent)."""
+        if key not in self._values:
+            raise KeyError(key)
+        return self._labeler.rank_of(key)
 
     def predecessor(self, key):
         """The largest stored key strictly smaller than ``key`` (or ``None``)."""
-        index = bisect.bisect_left(self._keys, key)
-        return self._keys[index - 1] if index > 0 else None
+        below = self._count_less(key)
+        return self._labeler.select(below) if below > 0 else None
 
     def successor(self, key):
         """The smallest stored key strictly larger than ``key`` (or ``None``)."""
-        index = bisect.bisect_right(self._keys, key)
-        return self._keys[index] if index < len(self._keys) else None
+        at_or_below = self._count_le(key)
+        if at_or_below < len(self._values):
+            return self._labeler.select(at_or_below + 1)
+        return None
 
-    def range(self, low, high) -> Iterator[tuple]:
-        """Items with ``low <= key <= high`` in key order (a sequential scan)."""
-        start = bisect.bisect_left(self._keys, low)
-        for key in self._keys[start:]:
-            if key > high:
+    def range(self, low=None, high=None, *, limit=None, after=None) -> Iterator[tuple]:
+        """Items with ``low <= key <= high`` in key order, streamed lazily.
+
+        One rank search finds the start, then a labeler cursor walks the
+        physical array — elements past the consumed prefix are never
+        touched, so ``next(map.range(...))`` is ``O(log)`` regardless of
+        the interval's width.  ``low``/``high`` of ``None`` leave that end
+        unbounded.  ``limit`` caps the number of items; ``after`` starts
+        strictly past the given key (the pagination cursor: pass the last
+        key of the previous page to resume).
+        """
+        if after is not None and (low is None or after >= low):
+            start_rank = self._count_le(after) + 1
+        elif low is not None:
+            start_rank = self._count_less(low) + 1
+        else:
+            start_rank = 1
+        emitted = 0
+        if limit is not None and limit <= 0:
+            return
+        for key in self._labeler.iter_from(start_rank):
+            if high is not None and key > high:
                 return
             yield key, self._values[key]
+            emitted += 1
+            if limit is not None and emitted >= limit:
+                return
+
+    def count_range(self, low, high) -> int:
+        """Number of stored keys with ``low <= key <= high``.
+
+        Two rank searches — the interval's width never matters, unlike the
+        pre-cursor implementation that scanned the shadow key list.
+        """
+        return max(0, self._count_le(high) - self._count_less(low))
 
     # ------------------------------------------------------------------
     # Layout inspection
@@ -203,8 +277,14 @@ class PackedMemoryMap:
 
     def check(self) -> None:
         """Validate that the physical layout matches the logical contents."""
-        if list(self._labeler.elements()) != self._keys:
+        laid_out = list(self._labeler.elements())
+        if len(laid_out) != len(self._values) or set(laid_out) != set(self._values):
             raise AssertionError("physical layout diverged from the key set")
+        for left, right in zip(laid_out, laid_out[1:]):
+            if not left < right:
+                raise AssertionError(
+                    f"physical key order violated: {left!r} !< {right!r}"
+                )
 
     # ------------------------------------------------------------------
     # Serialization (the durable store's checkpoint unit)
@@ -213,7 +293,9 @@ class PackedMemoryMap:
         """Labeler snapshot plus the ``[key, value]`` entries in key order."""
         return {
             "labeler": self._labeler.snapshot(),
-            "entries": [[key, self._values[key]] for key in self._keys],
+            "entries": [
+                [key, self._values[key]] for key in self._labeler.elements()
+            ],
         }
 
     def restore_state(self, state: dict) -> None:
@@ -224,13 +306,12 @@ class PackedMemoryMap:
         :meth:`items`, :meth:`range`) and consistency checks all work, and
         which accepts insertions immediately.
         """
-        if self._keys:
+        if self._values:
             raise RuntimeError("restore_state requires an empty map")
         self._labeler.restore(state["labeler"])
         entries = state["entries"]
-        self._keys = [key for key, _ in entries]
         self._values = {key: value for key, value in entries}
-        if list(self._labeler.elements()) != self._keys:
+        if list(self._labeler.elements()) != [key for key, _ in entries]:
             raise RuntimeError(
                 "restored labeler layout does not match the snapshot's keys"
             )
@@ -296,8 +377,17 @@ class DurableMap:
     def items(self) -> Iterator[tuple]:
         return self._store.items()
 
-    def range(self, low, high) -> Iterator[tuple]:
-        return self._store.range(low, high)
+    def range(self, low=None, high=None, *, limit=None, after=None) -> Iterator[tuple]:
+        return self._store.range(low, high, limit=limit, after=after)
+
+    def count_range(self, low, high) -> int:
+        return self._store.count_range(low, high)
+
+    def select(self, rank: int):
+        return self._store.map.select(rank)
+
+    def rank_of(self, key) -> int:
+        return self._store.map.rank_of(key)
 
     def predecessor(self, key):
         return self._store.map.predecessor(key)

@@ -16,8 +16,13 @@ from repro.core.exceptions import (
     RankError,
 )
 from repro.core.operations import (
+    COUNT_RANGE,
     DELETE,
     INSERT,
+    LOOKUP,
+    RANGE,
+    READ_KINDS,
+    SELECT,
     BatchResult,
     Move,
     MoveRecorder,
@@ -25,7 +30,7 @@ from repro.core.operations import (
     OperationResult,
     move_triples,
 )
-from repro.core.interface import ListLabeler
+from repro.core.interface import Cursor, ListLabeler
 from repro.core.physical import PhysicalArray, ReferencePhysicalArray
 from repro.core.cost import CostTracker, WindowStatistics
 from repro.core.embedding import Embedding
@@ -40,11 +45,17 @@ from repro.core.sharded import ShardedLabeler
 __all__ = [
     "BatchError",
     "BatchResult",
+    "COUNT_RANGE",
     "CapacityError",
     "CostTracker",
+    "Cursor",
     "DELETE",
     "Embedding",
     "INSERT",
+    "LOOKUP",
+    "RANGE",
+    "READ_KINDS",
+    "SELECT",
     "InterleavedComposition",
     "InvariantViolation",
     "LabelerError",

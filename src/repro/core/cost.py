@@ -57,6 +57,8 @@ class CostTracker:
         self._max = 0
         self._restructures: dict[str, int] = {}
         self._restructure_moves: dict[str, int] = {}
+        self._query_counts: dict[str, int] = {}
+        self._query_items: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -103,6 +105,22 @@ class CostTracker:
         :meth:`record_batch`).
         """
         self.record_batch(recorder.total_cost, operations)
+
+    def record_query(self, kind: str, items: int = 1) -> None:
+        """Record one read operation of the given kind.
+
+        Reads never move elements, so they live outside the element-move
+        statistics entirely: a query contributes to :attr:`queries` and
+        :meth:`query_statistics` but not to :attr:`operations`,
+        :attr:`total_cost` or any window/percentile view.  ``items`` is the
+        read's *touch count* — 1 for a point lookup/select, the number of
+        elements streamed for a range, the count returned by a count-range —
+        which is what the read-throughput reports aggregate.
+        """
+        if items < 0:
+            raise ValueError("query item count cannot be negative")
+        self._query_counts[kind] = self._query_counts.get(kind, 0) + 1
+        self._query_items[kind] = self._query_items.get(kind, 0) + items
 
     def record_restructure(self, kind: str, moves: int) -> None:
         """Record one structural event (a shard split/merge, a rebuild, …).
@@ -174,6 +192,29 @@ class CostTracker:
             "amortized_per_element": total / elements,
             "worst_batch": float(max(cost for cost, _ in pairs)),
         }
+
+    # ------------------------------------------------------------------
+    # Query (read) statistics
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> int:
+        """Total read operations recorded (all kinds)."""
+        return sum(self._query_counts.values())
+
+    @property
+    def query_items(self) -> int:
+        """Total elements touched by the recorded reads."""
+        return sum(self._query_items.values())
+
+    def query_statistics(self) -> dict[str, float]:
+        """Per-kind read statistics (empty dict when no query was recorded)."""
+        if not self._query_counts:
+            return {}
+        stats: dict[str, float] = {"queries": float(self.queries)}
+        for kind in sorted(self._query_counts):
+            stats[f"{kind}_queries"] = float(self._query_counts[kind])
+            stats[f"{kind}_items"] = float(self._query_items[kind])
+        return stats
 
     # ------------------------------------------------------------------
     # Structural (restructure) statistics
@@ -297,6 +338,14 @@ class CostTracker:
                 merged._restructure_moves[kind] = (
                     merged._restructure_moves.get(kind, 0) + moves
                 )
+            for kind, count in tracker._query_counts.items():
+                merged._query_counts[kind] = (
+                    merged._query_counts.get(kind, 0) + count
+                )
+            for kind, items in tracker._query_items.items():
+                merged._query_items[kind] = (
+                    merged._query_items.get(kind, 0) + items
+                )
         return merged
 
     def summary(self) -> dict[str, float]:
@@ -311,6 +360,7 @@ class CostTracker:
         }
         data.update(self.batch_statistics())
         data.update(self.structure_statistics())
+        data.update(self.query_statistics())
         return data
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

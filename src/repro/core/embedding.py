@@ -168,6 +168,29 @@ class Embedding(ListLabeler):
             self._physical.real_between(0, self._physical.position_of(element)) + 1
         )
 
+    # ------------------------------------------------------------------
+    # Read path: served by the shared physical array's Fenwick lanes
+    # ------------------------------------------------------------------
+    def select(self, rank: int) -> Hashable:
+        """The ``rank``-th element (one select on the element lane)."""
+        self._check_read_rank(rank, "select")
+        return self._physical.element_at_rank(rank)
+
+    def _iter_from(self, rank: int):
+        return self._physical.iter_elements_from(rank)
+
+    def count_range(self, lo: int, hi: int) -> int:
+        """Stored elements at physical positions in ``[lo, hi)``."""
+        lo = max(0, lo)
+        hi = min(self.num_slots, hi)
+        if hi <= lo:
+            return 0
+        return self._physical.real_between(lo, hi)
+
+    def slot_of_rank(self, rank: int) -> int:
+        self._check_read_rank(rank, "select")
+        return self._physical.position_of_rank(rank)
+
     def _insert(self, rank: int, element: Hashable) -> OperationResult:
         # The recorder-backed sink keeps the hot path allocation-free; the
         # result still exposes the Move API through it.

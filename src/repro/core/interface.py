@@ -22,6 +22,26 @@ implementation loops over the singleton hooks so every algorithm supports
 batches unchanged; array-based algorithms override the ``_insert_batch`` /
 ``_delete_batch`` hooks to service the whole batch with a single merged
 rebalance (see :mod:`repro.algorithms.base`).
+
+**Read API (the cursor protocol).**  The labels exist to make ordered reads
+cheap, so every labeler also serves rank-addressed queries:
+
+* :meth:`ListLabeler.select` — the ``rank``-th element (``O(log m)`` via an
+  occupancy index everywhere in this library);
+* :meth:`ListLabeler.iter_from` — a *lazy* iterator over the elements from
+  ``rank`` upward: one ``O(log m)`` seek, then a streaming slot walk that
+  never materializes the whole element list;
+* :meth:`ListLabeler.count_range` — stored elements in a physical slot
+  window (a Fenwick prefix count), with :meth:`~ListLabeler.count_rank_range`
+  translating a rank interval into that window;
+* :meth:`ListLabeler.cursor` — a :class:`Cursor` wrapping ``iter_from`` with
+  rank bookkeeping.
+
+Reads are side-effect-free: they must not move elements, relabel slots, or
+change any observable state (the differential suite fuzzes a layout digest
+across interleaved reads to enforce this).  The defaults here are ``O(m)``
+scans and exist as a last resort only; every concrete structure overrides
+them with indexed implementations.
 """
 
 from __future__ import annotations
@@ -34,10 +54,54 @@ from repro.core.exceptions import BatchError, CapacityError, LabelerError, RankE
 from repro.core.operations import (
     DELETE,
     INSERT,
+    RANGE,
+    SELECT,
     BatchResult,
     Operation,
     OperationResult,
 )
+
+
+class Cursor:
+    """A lazy forward reader over a labeler's elements, positioned by rank.
+
+    Wraps :meth:`ListLabeler.iter_from` and keeps the rank of the *next*
+    element, so callers can interleave streaming with rank bookkeeping
+    (pagination, merge joins).  Like any iterator over a live structure, a
+    cursor is invalidated by mutations of the underlying labeler.
+    """
+
+    __slots__ = ("_labeler", "_next_rank", "_stream")
+
+    def __init__(self, labeler: "ListLabeler", rank: int = 1) -> None:
+        self._labeler = labeler
+        self._next_rank = rank
+        self._stream = labeler.iter_from(rank)
+
+    @property
+    def rank(self) -> int:
+        """1-based rank of the element the next ``__next__`` returns."""
+        return self._next_rank
+
+    def __iter__(self) -> "Cursor":
+        return self
+
+    def __next__(self) -> Hashable:
+        value = next(self._stream)
+        self._next_rank += 1
+        return value
+
+    def take(self, count: int) -> list[Hashable]:
+        """Up to ``count`` further elements (fewer at the end of the data)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        out: list[Hashable] = []
+        for value in self._stream:
+            out.append(value)
+            if len(out) >= count:
+                break
+        self._next_rank += len(out)
+        return out
 
 
 class ListLabeler(abc.ABC):
@@ -373,6 +437,95 @@ class ListLabeler(abc.ABC):
         return {
             item: index for index, item in enumerate(self.slots()) if item is not None
         }
+
+    # ------------------------------------------------------------------
+    # Read path (the cursor protocol)
+    # ------------------------------------------------------------------
+    def _check_read_rank(self, rank: int, kind: str, *, slack: int = 0) -> None:
+        """Validate a read rank; ``slack=1`` admits the one-past-end rank."""
+        if not 1 <= rank <= self._size + slack:
+            raise RankError(rank, self._size, kind)
+
+    def select(self, rank: int) -> Hashable:
+        """The element of the given 1-based rank (select-kth).
+
+        The default is an ``O(m)`` scan of :meth:`slots` — a last-resort
+        fallback only; every concrete structure overrides it with an
+        occupancy-index select (``O(log m)``).
+        """
+        self._check_read_rank(rank, SELECT)
+        remaining = rank
+        for item in self.slots():
+            if item is None:
+                continue
+            remaining -= 1
+            if remaining == 0:
+                return item
+        raise RankError(rank, self._size, SELECT)  # pragma: no cover
+
+    def iter_from(self, rank: int) -> Iterator[Hashable]:
+        """Lazily yield the stored elements of ranks ``rank, rank+1, …``.
+
+        ``rank == size + 1`` is allowed and yields nothing (the natural
+        "cursor at the end" state).  The stream is lazy: elements are read
+        off the physical array as the consumer advances, never materialized
+        up front.  Overrides seek the start slot through an occupancy index
+        (``O(log m)``) and then walk slots; the default scans from slot 0.
+        Mutating the labeler invalidates the stream.
+        """
+        self._check_read_rank(rank, RANGE, slack=1)
+        return self._iter_from(rank)
+
+    def _iter_from(self, rank: int) -> Iterator[Hashable]:
+        """The stream behind :meth:`iter_from`; the rank is already valid."""
+        remaining = rank
+        for item in self.slots():
+            if item is None:
+                continue
+            remaining -= 1
+            if remaining <= 0:
+                yield item
+
+    def cursor(self, rank: int = 1) -> Cursor:
+        """A :class:`Cursor` positioned so its next element has ``rank``."""
+        return Cursor(self, rank)
+
+    def count_range(self, lo: int, hi: int) -> int:
+        """Number of stored elements occupying slots in ``[lo, hi)``.
+
+        This is the label-window count (how many elements carry labels in a
+        physical interval); bounds are clamped to the array.  The default
+        scans; concrete structures answer it with one Fenwick prefix
+        difference (``O(log m)``).
+        """
+        lo = max(0, lo)
+        hi = min(self._num_slots, hi)
+        if hi <= lo:
+            return 0
+        slots = self.slots()
+        return sum(1 for index in range(lo, hi) if slots[index] is not None)
+
+    def slot_of_rank(self, rank: int) -> int:
+        """Physical slot (label) of the element with the given rank."""
+        self._check_read_rank(rank, SELECT)
+        return self.slot_of(self.select(rank))
+
+    def count_rank_range(self, lo_rank: int, hi_rank: int) -> int:
+        """Number of stored elements with ranks in ``[lo_rank, hi_rank]``.
+
+        Answered through the *slot-window* count between the two rank
+        endpoints' labels, so the call exercises — and cross-checks — the
+        occupancy indexes: a consistent structure always returns
+        ``hi_rank - lo_rank + 1``, and the workload runner asserts exactly
+        that on every COUNT_RANGE operation.
+        """
+        if hi_rank < lo_rank:
+            return 0
+        self._check_read_rank(lo_rank, SELECT)
+        self._check_read_rank(hi_rank, SELECT)
+        return self.count_range(
+            self.slot_of_rank(lo_rank), self.slot_of_rank(hi_rank) + 1
+        )
 
     def __iter__(self) -> Iterator[Hashable]:
         return iter(self.elements())

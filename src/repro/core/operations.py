@@ -20,7 +20,28 @@ INSERT = "insert"
 #: Marker for delete operations.
 DELETE = "delete"
 
-_VALID_KINDS = (INSERT, DELETE)
+#: Key-addressed point read: find the label/rank of a stored element.  The
+#: rank names which element is probed; the runner resolves it to a key and
+#: routes the read through ``slot_of``/``rank_of`` (the routing-index path).
+LOOKUP = "lookup"
+
+#: Rank-addressed point read (select-kth): return the ``rank``-th element.
+SELECT = "select"
+
+#: Streaming read of the elements with ranks in ``[rank, end_rank]``.
+RANGE = "range"
+
+#: Count of the stored elements with ranks in ``[rank, end_rank]``, served
+#: through the occupancy indexes (a Fenwick slot-window count).
+COUNT_RANGE = "count_range"
+
+#: The query (side-effect-free) operation kinds.
+READ_KINDS = frozenset({LOOKUP, SELECT, RANGE, COUNT_RANGE})
+
+#: Kinds whose addressing is a rank *interval* rather than a single rank.
+_SPAN_KINDS = (RANGE, COUNT_RANGE)
+
+_VALID_KINDS = (INSERT, DELETE, LOOKUP, SELECT, RANGE, COUNT_RANGE)
 
 
 @dataclass(frozen=True)
@@ -30,26 +51,44 @@ class Operation:
     Parameters
     ----------
     kind:
-        Either :data:`INSERT` or :data:`DELETE`.
+        One of :data:`INSERT`, :data:`DELETE` (the mutating kinds of
+        Definition 1) or the read kinds :data:`LOOKUP`, :data:`SELECT`,
+        :data:`RANGE`, :data:`COUNT_RANGE` (the query surface the labels
+        exist to serve).
     rank:
         The 1-based rank at which the operation applies.  An insertion at
         rank ``r`` makes the new element the ``r``-th smallest; a deletion at
-        rank ``r`` removes the ``r``-th smallest element.
+        rank ``r`` removes the ``r``-th smallest element; a read at rank
+        ``r`` addresses the ``r``-th smallest element (the *first* one, for
+        the interval kinds).
     key:
         Optional application-level payload carried by an insertion (for
         example a database key).  The list-labeling algorithms never inspect
         it — per Section 2 the elements are black boxes.
+    end_rank:
+        Last rank (inclusive) of a :data:`RANGE` / :data:`COUNT_RANGE`
+        interval; required for those kinds, disallowed for all others.
     """
 
     kind: str
     rank: int
     key: Hashable | None = None
+    end_rank: int | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in _VALID_KINDS:
             raise ValueError(f"unknown operation kind {self.kind!r}")
         if self.rank < 1:
             raise ValueError(f"ranks are 1-based; got {self.rank}")
+        if self.kind in _SPAN_KINDS:
+            if self.end_rank is None:
+                raise ValueError(f"{self.kind} operations need an end_rank")
+            if self.end_rank < self.rank:
+                raise ValueError(
+                    f"end_rank {self.end_rank} precedes rank {self.rank}"
+                )
+        elif self.end_rank is not None:
+            raise ValueError(f"{self.kind} operations carry no end_rank")
 
     @property
     def is_insert(self) -> bool:
@@ -58,6 +97,22 @@ class Operation:
     @property
     def is_delete(self) -> bool:
         return self.kind == DELETE
+
+    @property
+    def is_read(self) -> bool:
+        """True for the side-effect-free query kinds."""
+        return self.kind in READ_KINDS
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == INSERT or self.kind == DELETE
+
+    @property
+    def span(self) -> int:
+        """Number of ranks an interval read addresses (1 for point kinds)."""
+        if self.end_rank is None:
+            return 1
+        return self.end_rank - self.rank + 1
 
     @staticmethod
     def insert(rank: int, key: Hashable | None = None) -> "Operation":
@@ -68,6 +123,26 @@ class Operation:
     def delete(rank: int) -> "Operation":
         """Convenience constructor for a deletion."""
         return Operation(DELETE, rank)
+
+    @staticmethod
+    def lookup(rank: int, key: Hashable | None = None) -> "Operation":
+        """A key-addressed point lookup of the ``rank``-th element."""
+        return Operation(LOOKUP, rank, key)
+
+    @staticmethod
+    def select(rank: int) -> "Operation":
+        """A rank-addressed point read (select-kth)."""
+        return Operation(SELECT, rank)
+
+    @staticmethod
+    def range(rank: int, end_rank: int) -> "Operation":
+        """A streaming read of ranks ``[rank, end_rank]``."""
+        return Operation(RANGE, rank, None, end_rank)
+
+    @staticmethod
+    def count_range(rank: int, end_rank: int) -> "Operation":
+        """A count of the stored elements with ranks in ``[rank, end_rank]``."""
+        return Operation(COUNT_RANGE, rank, None, end_rank)
 
 
 @dataclass(frozen=True)

@@ -44,7 +44,7 @@ move-for-move differential oracle for this class):
 from __future__ import annotations
 
 from array import array
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
 from repro.core.exceptions import InvariantViolation
 from repro.core.fenwick import PackedFenwick
@@ -209,6 +209,27 @@ class PhysicalArray:
         eid = self._eid[position]
         assert eid >= 0
         return self._elem_of[eid]
+
+    def position_of_rank(self, rank: int) -> int:
+        """Physical position of the ``rank``-th (1-based) stored element."""
+        return self._fen.select(_LANE_REAL, rank)
+
+    def iter_elements_from(self, rank: int) -> Iterator[Hashable]:
+        """Lazily yield the stored elements of ranks ``rank, rank+1, …``.
+
+        One ``O(log m)`` select seeks the start position; from there the
+        element-id slab is walked directly, yielding as the consumer
+        advances — nothing is materialized.  ``rank`` past the element
+        count yields nothing.
+        """
+        if rank > self._fen.total(_LANE_REAL):
+            return
+        eids = self._eid
+        elem_of = self._elem_of
+        for position in range(self._fen.select(_LANE_REAL, rank), self._m):
+            eid = eids[position]
+            if eid >= 0:
+                yield elem_of[eid]
 
     # ------------------------------------------------------------------
     # Counting helpers

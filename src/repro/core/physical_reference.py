@@ -98,6 +98,27 @@ class ReferencePhysicalArray:
         assert element is not None
         return element
 
+    def position_of_rank(self, rank: int) -> int:
+        """Physical position of the ``rank``-th (1-based) stored element."""
+        return self._fen_real.select(rank)
+
+    def iter_elements_from(self, rank: int):
+        """Lazily yield the stored elements of ranks ``rank, rank+1, …``.
+
+        The reference twin of
+        :meth:`repro.core.physical.PhysicalArray.iter_elements_from`:
+        one Fenwick select seeks the start, then the element list is walked
+        directly.  Additive read-only API — the seed mutation paths above
+        stay untouched.
+        """
+        if rank > self._fen_real.total:
+            return
+        elems = self._elems
+        for position in range(self._fen_real.select(rank), self._m):
+            element = elems[position]
+            if element is not None:
+                yield element
+
     # ------------------------------------------------------------------
     # Counting helpers
     # ------------------------------------------------------------------

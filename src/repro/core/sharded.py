@@ -49,8 +49,9 @@ restructuring traffic is additionally itemized in :attr:`restructure_log`
 
 from __future__ import annotations
 
+import bisect
 import math
-from typing import Callable, Hashable, Iterable, Sequence
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
 from repro.core.exceptions import BatchError, LabelerError
 from repro.core.fenwick import FenwickTree
@@ -113,6 +114,14 @@ class ShardedLabeler(ListLabeler):
         first = shard_factory(shard_capacity)
         super().__init__(first.capacity, first.num_slots)
         self._shards: list[ListLabeler] = [first]
+        #: Element → owning shard (the routing reverse index).  Shard
+        #: *objects*, not indices: a split/merge shifts the indices of every
+        #: later shard, but never which object owns an untouched element, so
+        #: maintenance stays proportional to the rewritten region.  The
+        #: object → index step goes through :attr:`_shard_pos`, rebuilt with
+        #: the directory on every structural change (``O(K)``, already paid
+        #: there).
+        self._elem_shard: dict[Hashable, ListLabeler] = {}
         self._rebuild_directory()
 
         #: Structural-change counters and per-event move log
@@ -183,6 +192,9 @@ class ShardedLabeler(ListLabeler):
         self._slot_offsets = offsets
         self._capacity = capacity
         self._num_slots = num_slots
+        self._shard_pos = {
+            id(shard): index for index, shard in enumerate(self._shards)
+        }
 
     def _slot_offset(self, index: int) -> int:
         """First global slot of shard ``index`` in the concatenated view."""
@@ -231,11 +243,13 @@ class ShardedLabeler(ListLabeler):
         self._shards[lo:hi] = replacements
         self._rebuild_directory()
         moves: list[Move] = []
+        elem_shard = self._elem_shard
         for position, shard in enumerate(replacements, start=lo):
             offset = self._slot_offset(position)
             for element in shard.elements():
                 source = None if element in fresh else old_positions[element]
                 moves.append(Move(element, source, offset + shard.slot_of(element)))
+                elem_shard[element] = shard
         return moves
 
     def _record_restructure(self, kind: str, moves: Sequence[Move]) -> None:
@@ -332,6 +346,7 @@ class ShardedLabeler(ListLabeler):
             index, local = self._locate_insert(rank)
             shard = self._shards[index]
         inner = shard.insert(local, element)
+        self._elem_shard[element] = shard
         self._directory.add(index, 1)
         result.extend(self._lift_moves(inner.moves, self._slot_offset(index)))
         return result
@@ -340,6 +355,7 @@ class ShardedLabeler(ListLabeler):
         result = OperationResult(Operation.delete(rank))
         index, local = self._locate(rank)
         shard = self._shards[index]
+        del self._elem_shard[shard.select(local)]
         inner = shard.delete(local)
         self._directory.add(index, -1)
         result.extend(self._lift_moves(inner.moves, self._slot_offset(index)))
@@ -381,6 +397,8 @@ class ShardedLabeler(ListLabeler):
                 results.append(self._absorb_overflowing_batch(index, sub))
             else:
                 inner = shard.insert_batch(sub)
+                for _, element in sub:
+                    self._elem_shard[element] = shard
                 self._directory.add(index, len(sub))
                 offset = self._slot_offset(index)
                 for item in inner.results:
@@ -427,6 +445,8 @@ class ShardedLabeler(ListLabeler):
         results: list[OperationResult] = []
         for index in sorted(groups, reverse=True):
             shard = self._shards[index]
+            for local in groups[index]:  # pre-batch locals: read before mutating
+                del self._elem_shard[shard.select(local)]
             inner = shard.delete_batch(groups[index])
             self._directory.add(index, -len(groups[index]))
             offset = self._slot_offset(index)
@@ -452,9 +472,12 @@ class ShardedLabeler(ListLabeler):
             raise LabelerError("bulk_load requires an empty structure")
         replacements: list[ListLabeler] = []
         total = 0
+        self._elem_shard = {}
         for chunk in self._even_chunks(elements):
             shard = self._shard_factory(self._shard_capacity)
             total += shard.bulk_load(chunk)
+            for element in chunk:
+                self._elem_shard[element] = shard
             replacements.append(shard)
         self._shards = replacements
         self._rebuild_directory()
@@ -505,9 +528,12 @@ class ShardedLabeler(ListLabeler):
                 f"match this engine's {self._shard_capacity}"
             )
         shards: list[ListLabeler] = []
+        self._elem_shard = {}
         for shard_state in state["shards"]:
             shard = self._shard_factory(self._shard_capacity)
             shard.restore(shard_state)
+            for element in shard.elements():
+                self._elem_shard[element] = shard
             shards.append(shard)
         if not shards:
             # A zero-shard engine would break every rank-routing path; the
@@ -543,12 +569,41 @@ class ShardedLabeler(ListLabeler):
         return out
 
     def slot_of(self, element: Hashable) -> int:
-        """Global slot in the concatenated view (``O(K)`` shard probes).
+        """Global slot in the concatenated view, routed in ``O(1)`` + one
+        indexed shard query.
 
-        Shards exposing a ``contains`` membership test (every dense
-        algorithm does, at ``O(1)``) are probed without the
-        raise-and-catch round trip — an exception per miss made the scan
-        an order of magnitude slower than a dict hit.
+        The element → shard reverse index replaces the ``O(K)`` probe loop
+        that scanned every shard until one answered (still available as
+        :meth:`_slot_of_probe` for the regression benchmark): a hit costs
+        two dict lookups plus the owning shard's own indexed ``slot_of``,
+        independent of the shard count.
+        """
+        shard = self._elem_shard.get(element)
+        if shard is None:
+            raise KeyError(f"element {element!r} is not stored")
+        index = self._shard_pos[id(shard)]
+        return self._slot_offsets[index] + shard.slot_of(element)
+
+    def rank_of(self, element: Hashable) -> int:
+        """1-based global rank: reverse-index route + one directory prefix."""
+        shard = self._elem_shard.get(element)
+        if shard is None:
+            raise KeyError(f"element {element!r} is not stored")
+        index = self._shard_pos[id(shard)]
+        return self._directory.prefix(index) + shard.rank_of(element)
+
+    def contains(self, element: Hashable) -> bool:
+        """Membership in ``O(1)`` through the reverse index."""
+        return element in self._elem_shard
+
+    def _slot_of_probe(self, element: Hashable) -> int:
+        """The pre-index ``O(K)`` probe loop, kept as the benchmark foil.
+
+        Probes every shard in order (via its ``contains`` when it has one)
+        until one owns the element — the behaviour :meth:`slot_of` had
+        before the routing index, preserved verbatim so the regression
+        benchmark can measure the routed path against it on identical
+        structures.
         """
         offset = 0
         for shard in self._shards:
@@ -564,8 +619,8 @@ class ShardedLabeler(ListLabeler):
             offset += shard.num_slots
         raise KeyError(f"element {element!r} is not stored")
 
-    def rank_of(self, element: Hashable) -> int:
-        """1-based global rank (``O(K)`` probes + one indexed shard query)."""
+    def _rank_of_probe(self, element: Hashable) -> int:
+        """The pre-index ``O(K)`` rank probe loop (benchmark foil)."""
         below = 0
         for shard in self._shards:
             has = getattr(shard, "contains", None)
@@ -579,6 +634,63 @@ class ShardedLabeler(ListLabeler):
                     pass
             below += len(shard)
         raise KeyError(f"element {element!r} is not stored")
+
+    # ------------------------------------------------------------------
+    # Read path: directory-routed selects and cross-shard streaming
+    # ------------------------------------------------------------------
+    def select(self, rank: int) -> Hashable:
+        """The ``rank``-th element: one directory select + one shard select."""
+        self._check_read_rank(rank, "select")
+        index, local = self._locate(rank)
+        return self._shards[index].select(local)
+
+    def _iter_from(self, rank: int) -> Iterator[Hashable]:
+        """Stream across shard boundaries without concatenating shards.
+
+        The directory routes the start rank to its shard; that shard's own
+        lazy ``iter_from`` is drained, then each later shard streams from
+        its first element.  No shard's contents are materialized, so
+        consuming a short prefix touches only the shards it crosses.
+        """
+        if rank > self._size:
+            return
+        index, local = self._locate(rank)
+        yield from self._shards[index].iter_from(local)
+        for later in range(index + 1, len(self._shards)):
+            shard = self._shards[later]
+            if len(shard):
+                yield from shard.iter_from(1)
+
+    def count_range(self, lo: int, hi: int) -> int:
+        """Stored elements in the global slot window ``[lo, hi)``.
+
+        Fenwick-prefix composition: the boundary shards answer their
+        partial windows with their own occupancy counts, and every fully
+        covered shard in between contributes through one rank-directory
+        prefix difference (``O(log K)``) — no per-shard iteration.
+        """
+        lo = max(0, lo)
+        hi = min(self._num_slots, hi)
+        if hi <= lo:
+            return 0
+        offsets = self._slot_offsets
+        first = bisect.bisect_right(offsets, lo) - 1
+        last = bisect.bisect_right(offsets, hi - 1) - 1
+        if first == last:
+            return self._shards[first].count_range(
+                lo - offsets[first], hi - offsets[first]
+            )
+        first_shard = self._shards[first]
+        total = first_shard.count_range(lo - offsets[first], first_shard.num_slots)
+        total += self._directory.prefix(last) - self._directory.prefix(first + 1)
+        total += self._shards[last].count_range(0, hi - offsets[last])
+        return total
+
+    def slot_of_rank(self, rank: int) -> int:
+        """Global slot of the ``rank``-th element (directory + shard index)."""
+        self._check_read_rank(rank, "select")
+        index, local = self._locate(rank)
+        return self._slot_offsets[index] + self._shards[index].slot_of_rank(local)
 
     @property
     def label_shift(self) -> int:
@@ -641,6 +753,22 @@ class ShardedLabeler(ListLabeler):
             raise InvariantViolation(
                 f"shard sizes sum to {total} but the engine reports {self._size}"
             )
+        if len(self._elem_shard) != self._size:
+            raise InvariantViolation(
+                f"routing index holds {len(self._elem_shard)} entries for "
+                f"{self._size} stored element(s)"
+            )
+        for index, shard in enumerate(self._shards):
+            if self._shard_pos.get(id(shard)) != index:
+                raise InvariantViolation(
+                    f"shard position index out of date for shard {index}"
+                )
+            for element in shard.elements():
+                if self._elem_shard.get(element) is not shard:
+                    raise InvariantViolation(
+                        f"routing index misroutes element {element!r} "
+                        f"(expected shard {index})"
+                    )
         if self._capacity != sum(shard.capacity for shard in self._shards):
             raise InvariantViolation("aggregate capacity drifted")
         if self._num_slots != sum(shard.num_slots for shard in self._shards):

@@ -1,7 +1,7 @@
 """Schema-versioned benchmark baselines and the regression comparator.
 
-The committed artifacts are ``BENCH_core.json`` and ``BENCH_sharded.json``
-at the repository root:
+The committed artifacts are ``BENCH_core.json``, ``BENCH_sharded.json``,
+``BENCH_store.json`` and ``BENCH_query.json`` at the repository root:
 
 .. code-block:: json
 
@@ -49,6 +49,7 @@ from pathlib import Path
 
 from repro.perf.scenarios import (
     CORE_SCENARIOS,
+    QUERY_SCENARIOS,
     SHARDED_SCENARIOS,
     STORE_SCENARIOS,
     ScenarioSpec,
@@ -69,6 +70,7 @@ SUITES: dict[str, dict[str, ScenarioSpec]] = {
     "core": CORE_SCENARIOS,
     "sharded": SHARDED_SCENARIOS,
     "store": STORE_SCENARIOS,
+    "query": QUERY_SCENARIOS,
 }
 
 #: Entries kept in a baseline file's ``trajectory`` history list.
@@ -101,6 +103,7 @@ _HIGHER_IS_BETTER = frozenset({"speedup", "ops_per_second"})
 _CORRECTNESS_FLAGS = {
     "moves_match": "slab and reference move logs diverged",
     "recovered_match": "recovered store diverged from the pre-crash state",
+    "reads_match": "a verified read diverged from the reference model",
 }
 
 

@@ -224,6 +224,89 @@ def run_zipfian_hammer(n: int, seed: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Query suite: read-heavy serving mixes through the runner
+# ---------------------------------------------------------------------------
+def _query_run_metrics(result, labeler) -> dict:
+    """Metrics of a read-heavy run: write moves + per-kind query counts.
+
+    Every query the runner executes is verified inline against the
+    reference model (a divergence raises, so the scenario would never
+    return) — ``reads_match`` records that the whole verified run
+    completed.  All counts are seed-deterministic; only the wall-clock
+    fields vary between machines.
+    """
+    tracker = result.tracker
+    metrics = {
+        "operations": tracker.operations + tracker.queries,
+        "writes": tracker.operations,
+        "total_moves": tracker.total_cost,
+        "queries": tracker.queries,
+        "query_items": tracker.query_items,
+        "reads_match": True,
+        "shards": labeler.shard_count,
+        "splits": labeler.splits,
+        "merges": labeler.merges,
+        "elapsed_seconds": result.elapsed_seconds,
+        "ops_per_second": result.ops_per_second,
+    }
+    for key, value in tracker.query_statistics().items():
+        if key != "queries":
+            metrics[key] = int(value)
+    return metrics
+
+
+def run_point_lookup_heavy(n: int, seed: int) -> dict:
+    """95% point reads (LOOKUP/SELECT only) at uniform ranks, 5% writes."""
+    from repro.analysis.runner import run_workload
+    from repro.workloads.mixed import MixedReadWriteWorkload
+
+    labeler = _sharded_labeler()
+    workload = MixedReadWriteWorkload(
+        n,
+        read_fraction=0.95,
+        key_choice="uniform",
+        scan_fraction=0.0,
+        count_fraction=0.0,
+        seed=seed,
+    )
+    result = run_workload(labeler, workload)
+    return _query_run_metrics(result, labeler)
+
+
+def run_ycsb_b_mixed(n: int, seed: int) -> dict:
+    """The YCSB-B profile: 95/5 read/write over zipfian-skewed targets,
+    with a small share of range scans and interval counts."""
+    from repro.analysis.runner import run_workload
+    from repro.workloads.mixed import MixedReadWriteWorkload
+
+    labeler = _sharded_labeler()
+    workload = MixedReadWriteWorkload(
+        n,
+        read_fraction=0.95,
+        key_choice="zipfian",
+        skew=1.1,
+        scan_fraction=0.05,
+        count_fraction=0.02,
+        scan_length=16,
+        delete_fraction=0.2,
+        seed=seed,
+    )
+    result = run_workload(labeler, workload)
+    return _query_run_metrics(result, labeler)
+
+
+def run_range_scan_heavy(n: int, seed: int) -> dict:
+    """Load half the stream, then stream 64-rank cursor scans."""
+    from repro.analysis.runner import run_workload
+    from repro.workloads.mixed import RangeScanWorkload
+
+    labeler = _sharded_labeler()
+    workload = RangeScanWorkload(n, scan_length=64, load_fraction=0.5, seed=seed)
+    result = run_workload(labeler, workload)
+    return _query_run_metrics(result, labeler)
+
+
+# ---------------------------------------------------------------------------
 # Store suite: durable traffic and recovery replays
 # ---------------------------------------------------------------------------
 def _drive_store(store, n: int, seed: int) -> None:
@@ -394,6 +477,27 @@ SHARDED_SCENARIOS: dict[str, ScenarioSpec] = {
         ),
         ScenarioSpec(
             "zipfian_hammer", quick_n=1024, full_n=8192, run=run_zipfian_hammer
+        ),
+    )
+}
+
+QUERY_SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            "point_lookup_heavy",
+            quick_n=2048,
+            full_n=16384,
+            run=run_point_lookup_heavy,
+        ),
+        ScenarioSpec(
+            "ycsb_b_mixed", quick_n=2048, full_n=16384, run=run_ycsb_b_mixed
+        ),
+        ScenarioSpec(
+            "range_scan_heavy",
+            quick_n=1024,
+            full_n=8192,
+            run=run_range_scan_heavy,
         ),
     )
 }

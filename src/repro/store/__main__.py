@@ -13,6 +13,11 @@
   a seeded workload + snapshot + reopen + verify round-trip in a
   temporary directory for **every** registered shard algorithm (what the
   ``store-recovery`` CI job runs).
+* ``scan --dir DIR [--low K] [--high K] [--limit N] [--page-size N]`` —
+  recover the store and stream the key interval through the paginated
+  read path (one labeler-cursor page per ``--page-size`` keys), printing
+  ``key<TAB>value`` lines plus a trailing summary.  Keys given on the
+  command line parse as JSON with a plain-string fallback.
 
 A maintenance command pointed at a directory holding no store refuses to
 run (a mistyped ``--dir`` must not conjure an empty store and call it
@@ -136,6 +141,56 @@ def _factory_sweep(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _parse_key(text: str | None):
+    """A CLI key: JSON when it parses, the raw string otherwise."""
+    if text is None:
+        return None
+    import json
+
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    low = _parse_key(args.low)
+    high = _parse_key(args.high)
+    emitted = 0
+    pages = 0
+    with _open(args) as store:
+        if args.page_size:
+            # The paginated path: one bounded cursor page per round trip,
+            # resumed strictly past the previous page's last key — the
+            # same protocol StoreService.scan_pages serves under its
+            # per-page lock holds.
+            after = None
+            while True:
+                remaining = (
+                    None if args.limit is None else args.limit - emitted
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                size = args.page_size
+                if remaining is not None:
+                    size = min(size, remaining)
+                page = list(store.range(low, high, limit=size, after=after))
+                if not page:
+                    break
+                pages += 1
+                for key, value in page:
+                    print(f"{key}\t{value}")
+                emitted += len(page)
+                after = page[-1][0]
+        else:
+            for key, value in store.range(low, high, limit=args.limit):
+                print(f"{key}\t{value}")
+                emitted += 1
+            pages = 1 if emitted else 0
+    print(f"scanned {emitted} key(s) in {pages} page(s)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.store")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -179,6 +234,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     verify.add_argument("--sweep-operations", type=int, default=400)
     verify.set_defaults(func=_cmd_verify)
+
+    scan = sub.add_parser("scan", help="stream a key interval (paginated)")
+    common(scan)
+    scan.add_argument("--low", default=None, help="lowest key (JSON; inclusive)")
+    scan.add_argument("--high", default=None, help="highest key (JSON; inclusive)")
+    scan.add_argument("--limit", type=int, default=None, help="cap on emitted keys")
+    scan.add_argument(
+        "--page-size",
+        type=int,
+        default=None,
+        help="scan in cursor pages of this many keys (the paginated path)",
+    )
+    scan.set_defaults(func=_cmd_scan)
 
     args = parser.parse_args(argv)
     return args.func(args)

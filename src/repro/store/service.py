@@ -17,11 +17,16 @@ many threads with a two-level locking protocol:
   stripes approximates per-shard ownership without pinning stripes to
   shard boundaries that splits would move.
 
-**Snapshot-consistent scans.**  :meth:`StoreService.range_scan` and
-:meth:`StoreService.snapshot_items` materialize their result while holding
-the structure lock shared: the returned list is an immutable point-in-time
-view — concurrent writers are serialized either entirely before or
-entirely after it, never interleaved into it.
+**Snapshot-consistent scans, paginated.**  :meth:`StoreService.range_scan`
+and :meth:`StoreService.snapshot_items` materialize their result while
+holding the structure lock shared: the returned list is an immutable
+point-in-time view — concurrent writers are serialized either entirely
+before or entirely after it, never interleaved into it.  Both also support
+**pagination** (``range_scan(..., limit=, after=)``,
+:meth:`StoreService.scan_pages`, ``snapshot_items(page_size=...)``): the
+lock is then held per page and released between pages, so a long scan no
+longer pins writers out for the whole store — each page is individually
+consistent and the cursor key defines the resumption point.
 
 **Background compaction.**  :meth:`StoreService.start_compactor` runs
 ``compact()`` on a daemon thread whenever the WAL grows past a threshold;
@@ -185,17 +190,62 @@ class StoreService:
         return self._AllStripes(self._stripes)
 
     # ------------------------------------------------------------------
-    # Snapshot-consistent scans: structure shared lock
+    # Scans: structure shared lock, held per *page* when paginating
     # ------------------------------------------------------------------
-    def range_scan(self, low, high) -> list[tuple]:
-        """All ``(key, value)`` with ``low <= key <= high``, one instant."""
-        with self._structure.read():
-            return list(self._store.range(low, high))
+    def range_scan(self, low=None, high=None, *, limit=None, after=None) -> list[tuple]:
+        """``(key, value)`` pairs with ``low <= key <= high``, one instant.
 
-    def snapshot_items(self) -> list[tuple]:
-        """Every item, as one consistent point-in-time view."""
+        Without ``limit`` this is the full snapshot-consistent scan it has
+        always been.  With ``limit`` it returns one *page* (``after``
+        resumes strictly past a key), and the structure lock is held only
+        while that page materializes — the unit of writer exclusion is a
+        page, not the whole interval.
+        """
         with self._structure.read():
-            return list(self._store.items())
+            return list(self._store.range(low, high, limit=limit, after=after))
+
+    def count_range(self, low, high) -> int:
+        """Number of keys in ``[low, high]`` (rank arithmetic, no scan)."""
+        with self._structure.read():
+            return self._store.count_range(low, high)
+
+    def scan_pages(self, low=None, high=None, *, page_size: int = 256):
+        """Yield the interval as pages, releasing the lock between pages.
+
+        Each page is individually snapshot-consistent (its read of the
+        structure is serialized against writers), but writers interleave
+        *between* pages, so a long scan no longer pins them out for the
+        whole store: the cursor key makes the resumption well-defined —
+        keys inserted behind the cursor are skipped, keys ahead of it are
+        seen — which is the standard paginated-scan contract.
+        """
+        if page_size < 1:
+            raise ValueError("page_size must be positive")
+        after = None
+        while True:
+            page = self.range_scan(low, high, limit=page_size, after=after)
+            if not page:
+                return
+            yield page
+            after = page[-1][0]
+
+    def snapshot_items(self, page_size: int | None = None) -> list[tuple]:
+        """Every item of the store.
+
+        With ``page_size=None`` (the default) the whole view materializes
+        under one shared lock hold — a consistent point-in-time snapshot.
+        Passing a ``page_size`` materializes it chunk by chunk through
+        :meth:`scan_pages` instead: each chunk is consistent and writers
+        run between chunks, trading the single-instant guarantee for not
+        blocking the write path on huge stores.
+        """
+        if page_size is None:
+            with self._structure.read():
+                return list(self._store.items())
+        items: list[tuple] = []
+        for page in self.scan_pages(page_size=page_size):
+            items.extend(page)
+        return items
 
     def size(self) -> int:
         with self._structure.read():

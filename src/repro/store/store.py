@@ -371,8 +371,15 @@ class DurableStore:
     def items(self) -> Iterator[tuple]:
         return self._map.items()
 
-    def range(self, low, high) -> Iterator[tuple]:
-        return self._map.range(low, high)
+    def range(self, low=None, high=None, *, limit=None, after=None) -> Iterator[tuple]:
+        """Items with ``low <= key <= high``, streamed through the labeler
+        cursor; ``limit``/``after`` page the scan (see
+        :meth:`repro.applications.ordered_map.PackedMemoryMap.range`)."""
+        return self._map.range(low, high, limit=limit, after=after)
+
+    def count_range(self, low, high) -> int:
+        """Number of keys in ``[low, high]`` (two rank searches, no scan)."""
+        return self._map.count_range(low, high)
 
     @property
     def map(self) -> PackedMemoryMap:

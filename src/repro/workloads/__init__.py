@@ -5,7 +5,9 @@ objects plus a little metadata (name, number of operations, capacity needed).
 They model the database access patterns the paper's introduction motivates:
 uniform random updates, bulk loads, append-only streams, hammer-insert
 hotspots (the adaptive bound of [18]), churn with deletions, skewed (zipfian)
-insertion points, and prediction-augmented insertion streams (Corollary 12).
+insertion points, prediction-augmented insertion streams (Corollary 12), and
+read-heavy serving mixes (YCSB-B-style point lookups and range scans over
+uniform or zipfian targets).
 """
 
 from repro.workloads.base import Workload, synthesize_key
@@ -16,12 +18,15 @@ from repro.workloads.bulk import BulkLoadWorkload
 from repro.workloads.zipfian import ZipfianWorkload
 from repro.workloads.sliding import SlidingWindowWorkload
 from repro.workloads.predicted import PredictedWorkload
+from repro.workloads.mixed import MixedReadWriteWorkload, RangeScanWorkload
 
 __all__ = [
     "BulkLoadWorkload",
     "HammerWorkload",
+    "MixedReadWriteWorkload",
     "PredictedWorkload",
     "RandomWorkload",
+    "RangeScanWorkload",
     "SequentialWorkload",
     "SlidingWindowWorkload",
     "Workload",

@@ -1,0 +1,228 @@
+"""Read-heavy mixed workloads: the traffic shape of a serving system.
+
+Real heavy traffic is read-dominated — YCSB-B, the canonical "read mostly"
+cloud-serving mix, is 95% reads / 5% writes.  :class:`MixedReadWriteWorkload`
+generates that shape over the rank-addressed operation model: a seeded
+stream interleaving writes (inserts, with an optional delete share) with the
+four read kinds of :mod:`repro.core.operations` — key-addressed LOOKUPs
+(the routing-index path), rank-addressed SELECTs, streaming RANGE reads and
+COUNT_RANGE interval counts.
+
+Read targets are drawn either uniformly over the current ranks or from a
+Zipf-like distribution anchored at a hotspot (``key_choice="zipfian"``),
+which models the skewed key popularity of serving workloads.  A short
+all-insert warmup seeds the structure so the read phase always has data to
+query.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.core.operations import Operation
+from repro.workloads.base import Workload
+
+
+def zipf_index(rng: random.Random, universe: int, skew: float) -> int:
+    """A 1-based index in ``[1, universe]`` with ``P(i) ∝ 1 / i^skew``.
+
+    The one zipf sampler of the workload layer — the zipfian insert
+    workload delegates here too, so read skew and write skew are directly
+    comparable.  For ``skew > 1`` this is inverse-CDF sampling on the
+    continuous approximation with rejection at the truncation boundary
+    (kept verbatim from the original insert sampler: committed seeded
+    baselines depend on its exact draw stream).  For ``skew <= 1`` the
+    unbounded-tail trick does not apply, so the *bounded* inverse CDF of
+    ``x^-skew`` on ``[1, universe]`` is used directly — one draw, exact in
+    the continuous approximation (the pre-shared sampler silently ignored
+    ``skew`` here and always produced a ~1/i² tail).
+    """
+    if skew <= 0.0:
+        raise ValueError("skew must be positive")
+    if skew > 1.0:
+        # No universe==1 shortcut: the rejection loop still consumes its
+        # geometric number of draws there, exactly like the sampler the
+        # insert workload originally carried (seed compatibility).
+        while True:
+            u = rng.random()
+            value = int(u ** (-1.0 / (skew - 1.0)))
+            if 1 <= value <= universe:
+                return value
+    u = rng.random()
+    if abs(skew - 1.0) < 1e-12:
+        value = universe ** u
+    else:
+        value = (1.0 + u * (universe ** (1.0 - skew) - 1.0)) ** (
+            1.0 / (1.0 - skew)
+        )
+    return min(universe, max(1, int(value)))
+
+
+class MixedReadWriteWorkload(Workload):
+    """A configurable read/write mix over uniform or zipfian targets.
+
+    Parameters
+    ----------
+    operations:
+        Total logical operations (reads + writes + warmup).
+    read_fraction:
+        Probability that a post-warmup operation is a read (0.95 = YCSB-B).
+    delete_fraction:
+        Share of *writes* that are deletions (the rest insert).
+    key_choice:
+        ``"uniform"`` — read ranks uniform over ``[1, size]``;
+        ``"zipfian"`` — Zipf-distributed offsets from ``hotspot_position``.
+    skew:
+        Zipf exponent of the zipfian choice (ignored for uniform).
+    hotspot_position:
+        Relative position (0..1) of the zipfian hotspot in the key space.
+    scan_fraction / count_fraction:
+        Shares of *reads* that are RANGE scans / COUNT_RANGE counts; the
+        remaining reads split evenly between LOOKUP and SELECT.
+    scan_length:
+        Rank span of each RANGE / COUNT_RANGE read.
+    warmup:
+        Leading all-insert operations seeding the structure (defaults to
+        5% of the stream, at least 16).
+    """
+
+    name = "mixed-read-write"
+
+    def __init__(
+        self,
+        operations: int,
+        *,
+        read_fraction: float = 0.95,
+        delete_fraction: float = 0.1,
+        key_choice: str = "uniform",
+        skew: float = 1.1,
+        hotspot_position: float = 0.3,
+        scan_fraction: float = 0.05,
+        count_fraction: float = 0.02,
+        scan_length: int = 16,
+        warmup: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(operations, capacity=operations)
+        if not 0.0 <= read_fraction <= 1.0:
+            raise ValueError("read_fraction must lie in [0, 1]")
+        if not 0.0 <= delete_fraction <= 1.0:
+            raise ValueError("delete_fraction must lie in [0, 1]")
+        if key_choice not in ("uniform", "zipfian"):
+            raise ValueError(f"unknown key_choice {key_choice!r}")
+        if scan_fraction + count_fraction > 1.0:
+            raise ValueError("scan_fraction + count_fraction must be <= 1")
+        if scan_length < 1:
+            raise ValueError("scan_length must be positive")
+        self.read_fraction = read_fraction
+        self.delete_fraction = delete_fraction
+        self.key_choice = key_choice
+        self.skew = skew
+        self.hotspot_position = hotspot_position
+        self.scan_fraction = scan_fraction
+        self.count_fraction = count_fraction
+        self.scan_length = scan_length
+        if warmup is None:
+            warmup = max(16, operations // 20)
+        self.warmup = min(warmup, operations)
+        self.seed = seed
+
+    def _pick_rank(self, rng: random.Random, size: int) -> int:
+        if self.key_choice == "uniform":
+            return rng.randint(1, size)
+        anchor = int(self.hotspot_position * size)
+        offset = zipf_index(rng, size, self.skew) - 1
+        direction = 1 if rng.random() < 0.5 else -1
+        rank = anchor + direction * offset + 1
+        return min(size, max(1, rank))
+
+    def __iter__(self) -> Iterator[Operation]:
+        rng = random.Random(self.seed)
+        size = 0
+        for step in range(self.operations):
+            if size == 0 or step < self.warmup:
+                yield Operation.insert(rng.randint(1, size + 1))
+                size += 1
+                continue
+            if rng.random() >= self.read_fraction:
+                # Write path.
+                if size > 1 and rng.random() < self.delete_fraction:
+                    yield Operation.delete(rng.randint(1, size))
+                    size -= 1
+                else:
+                    yield Operation.insert(rng.randint(1, size + 1))
+                    size += 1
+                continue
+            # Read path.
+            rank = self._pick_rank(rng, size)
+            roll = rng.random()
+            if roll < self.scan_fraction:
+                yield Operation.range(rank, rank + self.scan_length - 1)
+            elif roll < self.scan_fraction + self.count_fraction:
+                yield Operation.count_range(rank, rank + self.scan_length - 1)
+            elif roll < self.scan_fraction + self.count_fraction + (
+                1.0 - self.scan_fraction - self.count_fraction
+            ) / 2.0:
+                yield Operation.lookup(rank)
+            else:
+                yield Operation.select(rank)
+
+    def describe(self) -> dict[str, object]:
+        data = super().describe()
+        data.update(
+            read_fraction=self.read_fraction,
+            key_choice=self.key_choice,
+            scan_fraction=self.scan_fraction,
+            count_fraction=self.count_fraction,
+            scan_length=self.scan_length,
+            warmup=self.warmup,
+        )
+        return data
+
+
+class RangeScanWorkload(Workload):
+    """Load a key space, then hammer it with streaming range scans.
+
+    The first ``load_fraction`` of the stream inserts at uniform random
+    ranks; every remaining operation is a RANGE read of ``scan_length``
+    ranks starting at a uniform random position — the scan-heavy profile
+    (analytics over a live ordered map) that exposes whether ``range`` is a
+    lazy cursor walk or a whole-structure materialization.
+    """
+
+    name = "range-scan"
+
+    def __init__(
+        self,
+        operations: int,
+        *,
+        scan_length: int = 64,
+        load_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(operations, capacity=operations)
+        if scan_length < 1:
+            raise ValueError("scan_length must be positive")
+        if not 0.0 < load_fraction <= 1.0:
+            raise ValueError("load_fraction must lie in (0, 1]")
+        self.scan_length = scan_length
+        self.load_fraction = load_fraction
+        self.seed = seed
+
+    def __iter__(self) -> Iterator[Operation]:
+        rng = random.Random(self.seed)
+        load = max(1, int(self.operations * self.load_fraction))
+        size = 0
+        for step in range(self.operations):
+            if step < load:
+                yield Operation.insert(rng.randint(1, size + 1))
+                size += 1
+            else:
+                rank = rng.randint(1, size)
+                yield Operation.range(rank, rank + self.scan_length - 1)
+
+    def describe(self) -> dict[str, object]:
+        data = super().describe()
+        data.update(scan_length=self.scan_length, load_fraction=self.load_fraction)
+        return data

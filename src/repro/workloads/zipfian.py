@@ -37,17 +37,17 @@ class ZipfianWorkload(Workload):
         self.seed = seed
 
     def _zipf_index(self, rng: random.Random, universe: int) -> int:
-        """A 1-based index in [1, universe] with P(i) ∝ 1 / i^skew."""
-        # Inverse-CDF sampling over a truncated harmonic-like distribution via
-        # rejection on the continuous approximation; cheap and deterministic.
-        while True:
-            u = rng.random()
-            value = int((u ** (-1.0 / (self.skew - 1.0)) if self.skew > 1.0 else 1.0 / (1.0 - u)))
-            if 1 <= value <= universe:
-                return value
-            if value > universe:
-                # Re-draw; truncation keeps the distribution well-defined.
-                continue
+        """A 1-based index in [1, universe] with P(i) ∝ 1 / i^skew.
+
+        Delegates to the shared sampler in :mod:`repro.workloads.mixed`,
+        so insert skew and the read workloads' key skew draw from the
+        same distribution (for ``skew > 1`` the draw stream is identical
+        to the sampler this class originally carried — committed seeded
+        baselines are unaffected).
+        """
+        from repro.workloads.mixed import zipf_index
+
+        return zipf_index(rng, universe, self.skew)
 
     def __iter__(self) -> Iterator[Operation]:
         rng = random.Random(self.seed)

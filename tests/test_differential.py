@@ -6,7 +6,10 @@ algorithm (standalone and composite) in lockstep with a plain sorted-list
 reference model.  After every step group the structure must hold exactly
 the reference's elements in the same order, report the right size, and
 pass the full physical-state validation of
-:func:`repro.core.validation.check_labeler`.
+:func:`repro.core.validation.check_labeler`.  Interleaved with the writes,
+the *read* protocol (select / cursor ranges / interval counts / rank
+lookups) is fuzzed against the same reference — and asserted to be
+side-effect-free via a layout digest taken before and after each burst.
 
 The sharded engine gets its own long-haul harness
 (:class:`TestShardedDifferential`): :class:`repro.core.ShardedLabeler` over
@@ -63,6 +66,37 @@ def _check(labeler, reference):
     check_labeler(labeler, expected=reference)
 
 
+def _check_reads(labeler, reference, rng):
+    """Fuzz the read protocol against the reference model.
+
+    One random point select, cursor range, interval count, and rank
+    lookup — every answer checked exactly — plus the side-effect-free
+    guarantee: the layout digest (the full element → label map) must be
+    identical before and after the reads.
+    """
+    if not len(reference):
+        return
+    digest = tuple(sorted(labeler.labels().items(), key=lambda kv: kv[1]))
+    size = len(reference)
+    rank = rng.randint(1, size)
+    hi = min(size, rank + rng.randint(0, 24))
+    assert labeler.select(rank) == reference[rank - 1]
+    taken = labeler.cursor(rank).take(hi - rank + 1)
+    if hasattr(reference, "range_ranks"):  # the ChunkedList ground truth
+        expected_slice = reference.range_ranks(rank, hi)
+    else:
+        expected_slice = list(reference[rank - 1 : hi])
+    assert taken == expected_slice
+    assert labeler.count_rank_range(rank, hi) == hi - rank + 1
+    assert labeler.count_range(0, labeler.num_slots) == size
+    element = reference[rank - 1]
+    assert labeler.rank_of(element) == rank
+    assert labeler.slot_of_rank(rank) == labeler.slot_of(element)
+    assert (
+        tuple(sorted(labeler.labels().items(), key=lambda kv: kv[1])) == digest
+    ), "a read mutated the physical layout"
+
+
 def _run_differential(factory, *, seed, capacity, steps, use_batches):
     rng = random.Random(seed)
     labeler = factory(capacity)
@@ -95,6 +129,7 @@ def _run_differential(factory, *, seed, capacity, steps, use_batches):
             labeler.insert(rank, key)
             reference.insert(rank - 1, key)
         _check(labeler, reference)
+        _check_reads(labeler, reference, rng)
     if use_batches:
         assert batch_calls > 0
     return labeler
@@ -166,6 +201,7 @@ def _sharded_mixed_ops(labeler, *, seed, total_ops, check_every):
             reference.insert(rank - 1, key)
         if (executed + 1) % check_every == 0:
             _check(labeler, reference.to_list())
+            _check_reads(labeler, reference, rng)
     return reference
 
 
@@ -197,6 +233,7 @@ def _sharded_mixed_batches(labeler, *, seed, total_ops, check_every):
             executed += len(items)
         if executed >= next_check:
             _check(labeler, reference.to_list())
+            _check_reads(labeler, reference, rng)
             next_check += check_every
     return reference
 

@@ -2,10 +2,13 @@
 
 Two :class:`~hypothesis.stateful.RuleBasedStateMachine`\\ s drive the
 production composites through randomized rule sequences —
-singleton inserts/deletes, whole batches, and bursts engineered to force
-shard splits and merges — and run the full structural consistency check
+singleton inserts/deletes, whole batches, bursts engineered to force
+shard splits and merges, and *read* rules (select-kth, cursor range
+streams, interval counts, key lookups) whose answers are checked against
+the reference model — and run the full structural consistency check
 (directory vs shard sizes, density policy, physical order, reference-model
-contents) after **every** rule via an invariant.
+contents) after **every** rule via an invariant, so query correctness is
+exercised across split/merge boundaries specifically.
 """
 
 from __future__ import annotations
@@ -128,6 +131,47 @@ class ShardedMachine(RuleBasedStateMachine):
             if self.labeler.merges > merges_before:
                 break
 
+    # -- read rules: query correctness across split/merge bursts --------
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def select_kth(self, data):
+        rank = data.draw(st.integers(1, len(self.reference)), label="select rank")
+        assert self.labeler.select(rank) == self.reference[rank - 1]
+        assert self.labeler.slot_of_rank(rank) == self.labeler.slot_of(
+            self.reference[rank - 1]
+        )
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def cursor_range(self, data):
+        size = len(self.reference)
+        rank = data.draw(st.integers(1, size), label="range start rank")
+        span = data.draw(st.integers(1, 20), label="range span")
+        hi = min(size, rank + span - 1)
+        assert (
+            self.labeler.cursor(rank).take(hi - rank + 1)
+            == self.reference[rank - 1 : hi]
+        )
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def count_interval(self, data):
+        size = len(self.reference)
+        lo = data.draw(st.integers(1, size), label="count lo")
+        hi = data.draw(st.integers(lo, size), label="count hi")
+        assert self.labeler.count_rank_range(lo, hi) == hi - lo + 1
+        assert (
+            self.labeler.count_range(0, self.labeler.num_slots) == size
+        )
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def lookup_key(self, data):
+        rank = data.draw(st.integers(1, len(self.reference)), label="lookup rank")
+        key = self.reference[rank - 1]
+        assert self.labeler.rank_of(key) == rank
+        assert self.labeler.contains(key)
+
     # -- invariant: full consistency after every rule ------------------
     @invariant()
     def consistent(self):
@@ -178,8 +222,43 @@ class PackedMemoryMapMachine(RuleBasedStateMachine):
         key = data.draw(st.sampled_from(sorted(self.model)), label="probe key")
         assert self.map[key] == self.model[key]
         assert key in self.map
-        expected_rank = sorted(self.model).index(key)
+        ordered = sorted(self.model)
+        expected_rank = ordered.index(key)
         assert self.map.keys()[expected_rank] == key
+        assert self.map.rank_of(key) == expected_rank + 1
+        assert self.map.select(expected_rank + 1) == key
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def ordered_queries(self, data):
+        ordered = sorted(self.model)
+        probe = data.draw(st.integers(-5, 205), label="order probe")
+        below = [key for key in ordered if key < probe]
+        above = [key for key in ordered if key > probe]
+        assert self.map.predecessor(probe) == (below[-1] if below else None)
+        assert self.map.successor(probe) == (above[0] if above else None)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def range_pages(self, data):
+        ordered = sorted(self.model)
+        low = data.draw(st.integers(0, 200), label="range low")
+        high = data.draw(st.integers(low, 200), label="range high")
+        limit = data.draw(st.integers(1, 8), label="page size")
+        expected = [
+            (key, self.model[key]) for key in ordered if low <= key <= high
+        ]
+        assert list(self.map.range(low, high)) == expected
+        assert self.map.count_range(low, high) == len(expected)
+        paged: list = []
+        after = None
+        while True:
+            page = list(self.map.range(low, high, limit=limit, after=after))
+            if not page:
+                break
+            paged.extend(page)
+            after = page[-1][0]
+        assert paged == expected
 
     @invariant()
     def consistent(self):
