@@ -12,6 +12,10 @@ from typing import Mapping, Sequence
 
 def format_cell(value: object, precision: int = 2) -> str:
     if isinstance(value, float):
+        # Sub-precision magnitudes (µs-scale latencies in seconds) would
+        # all render as 0.00…; switch to scientific notation instead.
+        if value and abs(value) < 10.0**-precision:
+            return f"{value:.{precision}e}"
         return f"{value:.{precision}f}"
     return str(value)
 

@@ -17,6 +17,13 @@ reference model as a :class:`repro.analysis.reference.ChunkedList` — a
 blocked sorted list with ``O(√n)`` point updates — instead of a flat Python
 list whose ``O(n)`` ``insert`` dominated wall-clock at scale.
 
+**Latency capture.**  Both modes stamp every write event with its
+wall-clock duration (the structure call, plus the WAL append in durable
+mode) through :meth:`CostTracker.record`'s ``latency`` argument, so
+``RunResult.summary()`` reports ``latency_p50/p99/p999`` next to the
+move-cost percentiles.  The clock is injectable (``clock=``) — tests pass
+a deterministic fake; the default is :func:`time.perf_counter`.
+
 **Durable mode.**  Passing ``durable_dir`` write-ahead logs every applied
 operation — with its synthesized key, and batches as single atomic frames —
 into ``<durable_dir>/run-wal.jsonl`` through the store's
@@ -33,7 +40,7 @@ import math
 import time
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, Sequence
 
 from repro.analysis.reference import ChunkedList
 from repro.core.cost import CostTracker
@@ -155,6 +162,7 @@ def run_workload(
     batch_size: int = 1,
     durable_dir=None,
     durable_sync: str = "batch",
+    clock: Callable[[], float] | None = None,
 ) -> RunResult:
     """Run ``workload`` against ``labeler`` and record the move costs.
 
@@ -167,7 +175,11 @@ def run_workload(
     ``insert_batch`` / ``delete_batch``.  ``durable_dir`` write-ahead logs
     every applied operation (see the module docstring); ``durable_sync``
     sets the log's fsync policy (``"always"``/``"batch"``/``"never"``).
+    ``clock`` overrides the per-operation latency clock (deterministic
+    fakes in tests); the default is :func:`time.perf_counter`.
     """
+    if clock is None:
+        clock = time.perf_counter
     tracker = CostTracker()
     reference = ChunkedList(
         block_size=max(8, math.isqrt(max(1, workload.operations)))
@@ -189,6 +201,7 @@ def run_workload(
                 validate_every=validate_every,
                 stop_after=stop_after,
                 journal=journal,
+                clock=clock,
             )
         else:
             _run_singleton(
@@ -196,6 +209,7 @@ def run_workload(
                 validate_every=validate_every,
                 stop_after=stop_after,
                 journal=journal,
+                clock=clock,
             )
     finally:
         if journal is not None:
@@ -351,6 +365,7 @@ def _run_singleton(
     validate_every: int,
     stop_after: int | None,
     journal: _RunJournal | None = None,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> None:
     executed = 0
     for operation in workload:
@@ -366,16 +381,20 @@ def _run_singleton(
             key = operation.key
             if key is None:
                 key = synthesize_key(reference, operation.rank)
+            started = clock()
             if journal is not None:
                 journal.log("ins", {"rank": operation.rank, "key": key})
             result = labeler.insert(operation.rank, key)
+            latency = clock() - started
             reference.insert(operation.rank - 1, key)
         else:
+            started = clock()
             if journal is not None:
                 journal.log("del", {"rank": operation.rank})
             result = labeler.delete(operation.rank)
+            latency = clock() - started
             reference.pop(operation.rank - 1)
-        tracker.record(result.cost)
+        tracker.record(result.cost, latency=max(0.0, latency))
         executed += 1
         if validate_every and executed % validate_every == 0:
             _validate(labeler, reference)
@@ -391,6 +410,7 @@ def _run_batched(
     validate_every: int,
     stop_after: int | None,
     journal: _RunJournal | None = None,
+    clock: Callable[[], float] = time.perf_counter,
 ) -> None:
     executed = 0
     next_check = validate_every if validate_every else None
@@ -408,11 +428,19 @@ def _run_batched(
             for operation in batch:
                 _execute_read(labeler, reference, operation, tracker)
         elif batch[0].is_insert:
+            started = clock()
             result = _execute_insert_batch(labeler, reference, batch, journal)
-            tracker.record_batch(result.cost, result.count)
+            latency = clock() - started
+            tracker.record_batch(
+                result.cost, result.count, latency=max(0.0, latency)
+            )
         else:
+            started = clock()
             result = _execute_delete_batch(labeler, reference, batch, journal)
-            tracker.record_batch(result.cost, result.count)
+            latency = clock() - started
+            tracker.record_batch(
+                result.cost, result.count, latency=max(0.0, latency)
+            )
         executed += len(batch)
         if next_check is not None and executed >= next_check:
             _validate(labeler, reference)

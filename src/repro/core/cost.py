@@ -12,6 +12,24 @@ distinguish carefully:
 :class:`CostTracker` records the per-operation costs produced by a run and
 exposes all three, including the windowed statistic needed to check light
 amortization empirically.
+
+Two distributional views coexist:
+
+* the **per-operation** view (:meth:`CostTracker.percentile`,
+  :meth:`~CostTracker.tail_fraction`) weights every event by the number of
+  logical operations it served — a batch of ``w`` operations with total
+  cost ``c`` contributes ``w`` operations of cost ``c / w`` — so a batched
+  run and its singleton equivalent report percentiles on the same
+  per-operation scale as :attr:`~CostTracker.amortized`;
+* the **per-event** view (:meth:`CostTracker.event_percentile`,
+  :meth:`~CostTracker.event_tail_fraction`, :attr:`~CostTracker.worst_case`)
+  treats each recorded event — a whole batch — as one sample, which is the
+  right view for "how expensive can one call get".
+
+Events may also carry a **wall-clock latency** (``latency=`` on the record
+methods; the workload runner injects a clock), exposed through the same
+weight-aware percentile machinery (:meth:`CostTracker.latency_percentile`)
+so tail *time*, not just tail *moves*, is measurable.
 """
 
 from __future__ import annotations
@@ -42,16 +60,18 @@ class CostTracker:
     The tracker records *events*: a singleton operation is an event of
     weight 1; a batch recorded via :meth:`record_batch` is a single event
     whose weight is the number of logical operations it contained.  The
-    element-level statistics (:attr:`operations`, :attr:`amortized`) weight
-    batches by their size, while the event-level statistics
-    (:attr:`worst_case`, percentiles, windows) treat each batch as one
-    event — for singleton-only runs the two views coincide, so existing
-    callers are unaffected.
+    element-level statistics (:attr:`operations`, :attr:`amortized`,
+    :meth:`percentile`, :meth:`tail_fraction`) weight batches by their
+    size, while the event-level statistics (:attr:`worst_case`,
+    :meth:`event_percentile`, windows) treat each batch as one event —
+    for singleton-only runs the two views coincide, so existing callers
+    are unaffected.
     """
 
     def __init__(self) -> None:
         self._costs: list[int] = []
         self._weights: list[int] = []
+        self._latencies: list[float | None] = []
         self._operations = 0
         self._total = 0
         self._max = 0
@@ -63,28 +83,36 @@ class CostTracker:
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
-    def record(self, cost: int) -> None:
-        """Record the cost of one operation."""
-        self._record_event(cost, 1)
+    def record(self, cost: int, *, latency: float | None = None) -> None:
+        """Record the cost of one operation (optionally its wall-clock latency)."""
+        self._record_event(cost, 1, latency)
 
-    def record_batch(self, total_cost: int, operations: int) -> None:
+    def record_batch(
+        self, total_cost: int, operations: int, *, latency: float | None = None
+    ) -> None:
         """Record a batch of ``operations`` logical ops with one total cost.
 
         An empty batch (``operations == 0``) is a no-op; the batch appears
         as a single event in the event-level statistics and as
-        ``operations`` operations in the element-level ones.
+        ``operations`` operations in the element-level ones.  ``latency``
+        is the wall-clock duration of the whole batch.
         """
         if operations < 0:
             raise ValueError("batch size cannot be negative")
         if operations == 0:
             return
-        self._record_event(total_cost, operations)
+        self._record_event(total_cost, operations, latency)
 
-    def _record_event(self, cost: int, weight: int) -> None:
+    def _record_event(
+        self, cost: int, weight: int, latency: float | None = None
+    ) -> None:
         if cost < 0:
             raise ValueError("operation cost cannot be negative")
+        if latency is not None and latency < 0:
+            raise ValueError("latency cannot be negative")
         self._costs.append(cost)
         self._weights.append(weight)
+        self._latencies.append(latency)
         self._operations += weight
         self._total += cost
         if cost > self._max:
@@ -94,7 +122,9 @@ class CostTracker:
         for cost in costs:
             self.record(cost)
 
-    def record_recorder(self, recorder, operations: int = 1) -> None:
+    def record_recorder(
+        self, recorder, operations: int = 1, *, latency: float | None = None
+    ) -> None:
         """Consume a :class:`repro.core.operations.MoveRecorder` directly.
 
         The zero-alloc counterpart of summing ``Move.cost`` over a move
@@ -104,7 +134,7 @@ class CostTracker:
         logical operations the recorded work served (a batch weight, as in
         :meth:`record_batch`).
         """
-        self.record_batch(recorder.total_cost, operations)
+        self.record_batch(recorder.total_cost, operations, latency=latency)
 
     def record_query(self, kind: str, items: int = 1) -> None:
         """Record one read operation of the given kind.
@@ -304,8 +334,48 @@ class CostTracker:
     # ------------------------------------------------------------------
     # Distributional statistics
     # ------------------------------------------------------------------
-    def percentile(self, fraction: float) -> int:
-        """Cost percentile (``fraction`` in [0, 1]) using nearest-rank."""
+    @staticmethod
+    def _weighted_nearest_rank(
+        pairs: list[tuple[float, int]], fraction: float
+    ) -> float:
+        """Nearest-rank percentile over a weighted multiset of values.
+
+        ``pairs`` is ``(value, weight)``; the percentile is taken over the
+        expanded multiset in which each value appears ``weight`` times —
+        without materializing the expansion.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must lie in [0, 1]")
+        if not pairs:
+            return 0.0
+        pairs = sorted(pairs)
+        total = sum(weight for _, weight in pairs)
+        target = max(1, math.ceil(fraction * total))
+        cumulative = 0
+        for value, weight in pairs:
+            cumulative += weight
+            if cumulative >= target:
+                return value
+        return pairs[-1][0]
+
+    def percentile(self, fraction: float) -> float:
+        """Per-operation cost percentile (``fraction`` in [0, 1], nearest-rank).
+
+        Weight-aware: a batch event of weight ``w`` and total cost ``c``
+        contributes ``w`` operations of cost ``c / w``, so batched and
+        singleton runs report percentiles on the same per-operation scale
+        (the scale of :attr:`amortized`).  For singleton-only runs this is
+        exactly the historical event percentile.  See
+        :meth:`event_percentile` for the whole-event view.
+        """
+        pairs = [
+            (cost / weight, weight)
+            for cost, weight in zip(self._costs, self._weights)
+        ]
+        return self._weighted_nearest_rank(pairs, fraction)
+
+    def event_percentile(self, fraction: float) -> int:
+        """Cost percentile over recorded *events* (a whole batch = one sample)."""
         if not 0.0 <= fraction <= 1.0:
             raise ValueError("fraction must lie in [0, 1]")
         if not self._costs:
@@ -315,11 +385,83 @@ class CostTracker:
         return ordered[index]
 
     def tail_fraction(self, threshold: int) -> float:
-        """Fraction of operations whose cost is at least ``threshold``."""
+        """Fraction of logical operations whose per-op cost is ≥ ``threshold``.
+
+        Weight-aware, like :meth:`percentile`: a batch's operations each
+        carry the batch's per-operation cost ``c / w``.
+        """
+        if not self._operations:
+            return 0.0
+        heavy = sum(
+            weight
+            for cost, weight in zip(self._costs, self._weights)
+            if cost / weight >= threshold
+        )
+        return heavy / self._operations
+
+    def event_tail_fraction(self, threshold: int) -> float:
+        """Fraction of recorded events whose total cost is ≥ ``threshold``."""
         if not self._costs:
             return 0.0
         heavy = sum(1 for cost in self._costs if cost >= threshold)
         return heavy / len(self._costs)
+
+    # ------------------------------------------------------------------
+    # Latency statistics
+    # ------------------------------------------------------------------
+    @property
+    def latency_events(self) -> int:
+        """Number of recorded events that carried a wall-clock latency."""
+        return sum(1 for latency in self._latencies if latency is not None)
+
+    @property
+    def max_latency(self) -> float:
+        """Largest single-event latency recorded (0.0 when none)."""
+        observed = [
+            latency for latency in self._latencies if latency is not None
+        ]
+        return max(observed) if observed else 0.0
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Per-operation latency percentile (weight-aware nearest-rank).
+
+        A batch event of weight ``w`` that took ``t`` seconds contributes
+        ``w`` operations of latency ``t / w`` — the throughput-equivalent
+        per-operation view, on the same scale for batched and singleton
+        runs.  Events recorded without a latency are excluded.  See
+        :meth:`event_latency_percentile` for whole-event latencies.
+        """
+        pairs = [
+            (latency / weight, weight)
+            for latency, weight in zip(self._latencies, self._weights)
+            if latency is not None
+        ]
+        return self._weighted_nearest_rank(pairs, fraction)
+
+    def event_latency_percentile(self, fraction: float) -> float:
+        """Latency percentile over whole events (a batch = one sample)."""
+        pairs = [
+            (latency, 1)
+            for latency in self._latencies
+            if latency is not None
+        ]
+        return self._weighted_nearest_rank(pairs, fraction)
+
+    def latency_summary(self) -> dict[str, float]:
+        """Latency percentile dict (empty when no latency was recorded).
+
+        All values are seconds and wall-clock derived — the benchmark
+        comparator treats every ``latency_*`` metric as machine-dependent
+        (warn-only), like ``elapsed_seconds``.
+        """
+        if not self.latency_events:
+            return {}
+        return {
+            "latency_p50": self.latency_percentile(0.50),
+            "latency_p99": self.latency_percentile(0.99),
+            "latency_p999": self.latency_percentile(0.999),
+            "latency_max": self.max_latency,
+        }
 
     # ------------------------------------------------------------------
     # Merging and summarizing
@@ -328,8 +470,10 @@ class CostTracker:
         """Concatenate two runs into a new tracker (batch weights survive)."""
         merged = CostTracker()
         for tracker in (self, other):
-            for cost, weight in zip(tracker._costs, tracker._weights):
-                merged._record_event(cost, weight)
+            for cost, weight, latency in zip(
+                tracker._costs, tracker._weights, tracker._latencies
+            ):
+                merged._record_event(cost, weight, latency)
             for kind, count in tracker._restructures.items():
                 merged._restructures[kind] = (
                     merged._restructures.get(kind, 0) + count
@@ -357,10 +501,12 @@ class CostTracker:
             "worst_case": float(self.worst_case),
             "p50": float(self.percentile(0.50)),
             "p99": float(self.percentile(0.99)),
+            "p999": float(self.percentile(0.999)),
         }
         data.update(self.batch_statistics())
         data.update(self.structure_statistics())
         data.update(self.query_statistics())
+        data.update(self.latency_summary())
         return data
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

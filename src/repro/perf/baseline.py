@@ -1,12 +1,13 @@
 """Schema-versioned benchmark baselines and the regression comparator.
 
 The committed artifacts are ``BENCH_core.json``, ``BENCH_sharded.json``,
-``BENCH_store.json`` and ``BENCH_query.json`` at the repository root:
+``BENCH_store.json``, ``BENCH_query.json`` and ``BENCH_latency.json`` at
+the repository root:
 
 .. code-block:: json
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "suite": "core",
       "seed": 20260730,
       "quick": false,
@@ -31,13 +32,20 @@ sizes and :func:`compare_baselines` diffs the intersection:
   divergence) or ``recovered_match`` (a store recovery that did not
   reproduce the pre-crash state) — is always a failure;
 * wall-clock metrics (``elapsed_seconds``, ``reference_elapsed_seconds``,
-  ``speedup``, ``ops_per_second``) only ever **warn** — timings are
-  machine-dependent, move counts are not.  The check is direction-aware:
-  elapsed times warn when the fresh run is *slower* by the warn factor,
-  ``speedup``/``ops_per_second`` warn when the fresh value *collapses* by
-  it;
+  ``speedup``, ``ops_per_second``, and every metric carrying a
+  ``latency_`` segment — see :func:`is_wall_clock_metric`) only ever
+  **warn** — timings are machine-dependent, move counts are not.  The
+  check is direction-aware: elapsed times and latencies warn when the
+  fresh run is *slower* by the warn factor, ``speedup``/``ops_per_second``
+  warn when the fresh value *collapses* by it;
 * any other metric drift warns, since for a fixed seed every non-wall-clock
   number is expected to be bit-identical.
+
+**Schema versions.**  Version 2 (current) added the latency suite and the
+``p999`` / ``latency_*`` summary fields; the change is purely additive, so
+the comparator accepts any baseline whose version is in
+:data:`COMPATIBLE_SCHEMA_VERSIONS` — the committed version-1 documents
+keep validating without regeneration.
 """
 
 from __future__ import annotations
@@ -49,13 +57,19 @@ from pathlib import Path
 
 from repro.perf.scenarios import (
     CORE_SCENARIOS,
+    LATENCY_SCENARIOS,
     QUERY_SCENARIOS,
     SHARDED_SCENARIOS,
     STORE_SCENARIOS,
     ScenarioSpec,
 )
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Baseline document versions the comparator still reads.  Version 2 only
+#: *added* fields (latency suite, ``p999``/``latency_*``), so version-1
+#: documents committed before the bump stay comparable as-is.
+COMPATIBLE_SCHEMA_VERSIONS = frozenset({1, 2})
 
 #: Seed baked into the committed baselines.
 DEFAULT_SEED = 20260730
@@ -71,6 +85,7 @@ SUITES: dict[str, dict[str, ScenarioSpec]] = {
     "sharded": SHARDED_SCENARIOS,
     "store": STORE_SCENARIOS,
     "query": QUERY_SCENARIOS,
+    "latency": LATENCY_SCENARIOS,
 }
 
 #: Entries kept in a baseline file's ``trajectory`` history list.
@@ -104,7 +119,23 @@ _CORRECTNESS_FLAGS = {
     "moves_match": "slab and reference move logs diverged",
     "recovered_match": "recovered store diverged from the pre-crash state",
     "reads_match": "a verified read diverged from the reference model",
+    "tail_inversion": (
+        "deamortized no longer beats classical on p999 move cost while "
+        "classical wins amortized (the latency suite's paper-story check)"
+    ),
 }
+
+
+def is_wall_clock_metric(name: str) -> bool:
+    """Whether ``name`` is machine-dependent (warn-only, stripped for
+    determinism checks).
+
+    Beyond the fixed :data:`WALL_CLOCK_METRICS` names, every metric whose
+    name carries a ``latency_`` segment (``latency_p999``,
+    ``classical_latency_p50``, …) is wall-clock: latencies come from a real
+    clock, so noisy CI boxes must never hard-fail the comparator on them.
+    """
+    return name in WALL_CLOCK_METRICS or "latency_" in name
 
 
 def baseline_filename(suite: str) -> str:
@@ -229,7 +260,7 @@ def strip_wall_clock(document: dict) -> dict:
                 size: {
                     metric: value
                     for metric, value in metrics.items()
-                    if metric not in WALL_CLOCK_METRICS
+                    if not is_wall_clock_metric(metric)
                 }
                 for size, metrics in entry["sizes"].items()
             }
@@ -292,12 +323,18 @@ def compare_baselines(
     """
     suite = baseline.get("suite", "?")
     comparison = BaselineComparison(suite=suite)
-    if baseline.get("schema_version") != fresh.get("schema_version"):
-        comparison.failures.append(
-            f"schema version mismatch: baseline "
-            f"{baseline.get('schema_version')!r} vs fresh "
-            f"{fresh.get('schema_version')!r} — regenerate the baseline"
-        )
+    # Compatible versions (not just equal ones) diff cleanly: schema bumps
+    # are additive, so a version-1 committed baseline validates against a
+    # version-2 fresh run on their metric intersection.
+    for side, document in (("baseline", baseline), ("fresh", fresh)):
+        if document.get("schema_version") not in COMPATIBLE_SCHEMA_VERSIONS:
+            comparison.failures.append(
+                f"unsupported {side} schema version "
+                f"{document.get('schema_version')!r} (supported: "
+                f"{sorted(COMPATIBLE_SCHEMA_VERSIONS)}) — regenerate the "
+                f"baseline"
+            )
+    if comparison.failures:
         return comparison
     if baseline.get("seed") != fresh.get("seed"):
         comparison.failures.append(
@@ -358,12 +395,12 @@ def _compare_metrics(
                 )
                 comparison._row(scenario, size, metric, base_value, fresh_value, "FAIL")
             continue
-        if metric in WALL_CLOCK_METRICS:
+        if is_wall_clock_metric(metric):
             status = "ok"
             if isinstance(base_value, (int, float)) and base_value > 0:
                 # Direction-aware: speedup/ops_per_second are higher-is-
-                # better (warn on collapse), elapsed times are lower-is-
-                # better (warn on slowdown).
+                # better (warn on collapse), elapsed times and latencies
+                # are lower-is-better (warn on slowdown).
                 if metric in _HIGHER_IS_BETTER:
                     degraded = fresh_value * WALL_CLOCK_WARN_FACTOR < base_value
                 else:

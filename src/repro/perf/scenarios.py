@@ -454,6 +454,104 @@ def run_durable_bulk_ingest(n: int, seed: int) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Latency suite: tail percentiles under adversarial workloads
+# ---------------------------------------------------------------------------
+def _tail_metrics(tracker) -> dict:
+    """Per-operation move-cost percentiles plus the wall-clock latency view.
+
+    The move percentiles are bit-deterministic per seed (the comparator
+    warns on drift); every ``latency_*`` key is wall-clock and warn-only.
+    """
+    metrics = {
+        "p50": round(tracker.percentile(0.50), 6),
+        "p99": round(tracker.percentile(0.99), 6),
+        "p999": round(tracker.percentile(0.999), 6),
+    }
+    metrics.update(tracker.latency_summary())
+    return metrics
+
+
+def run_cliff_chaser(n: int, seed: int) -> dict:
+    """Classical vs deamortized PMA under the rebalance-cliff chaser.
+
+    The acceptance row of the latency suite: per-algorithm amortized moves
+    and p999 per-operation move cost under the feedback-driven densest-
+    window chaser, plus the ``tail_inversion`` correctness flag — the
+    paper's story that the deamortized structure buys its worst-case bound
+    (lower p999) at a small amortized premium, so classical wins the
+    average while deamortized wins the tail.  All move numbers are
+    bit-deterministic per seed; ``latency_*`` keys are wall-clock.
+    """
+    from repro.algorithms import ClassicalPMA, DeamortizedPMA
+    from repro.analysis.runner import run_workload
+    from repro.workloads.adversarial import RebalanceCliffWorkload
+
+    metrics: dict = {"operations": 2 * n}
+    total_moves = 0
+    summaries: dict[str, dict[str, float]] = {}
+    for label, factory in (
+        ("classical", ClassicalPMA),
+        ("deamortized", DeamortizedPMA),
+    ):
+        result = run_workload(factory(n), RebalanceCliffWorkload(n, seed=seed))
+        tracker = result.tracker
+        summaries[label] = {
+            "amortized": tracker.amortized,
+            "p999": tracker.percentile(0.999),
+        }
+        total_moves += tracker.total_cost
+        metrics[f"{label}_amortized"] = round(tracker.amortized, 6)
+        metrics[f"{label}_p50"] = round(tracker.percentile(0.50), 6)
+        metrics[f"{label}_p99"] = round(tracker.percentile(0.99), 6)
+        metrics[f"{label}_p999"] = round(tracker.percentile(0.999), 6)
+        metrics[f"{label}_worst_case"] = tracker.worst_case
+        metrics[f"{label}_latency_p50"] = tracker.latency_percentile(0.50)
+        metrics[f"{label}_latency_p999"] = tracker.latency_percentile(0.999)
+    metrics["total_moves"] = total_moves
+    classical_wins_amortized = (
+        summaries["classical"]["amortized"] < summaries["deamortized"]["amortized"]
+    )
+    deamortized_wins_p999 = (
+        summaries["deamortized"]["p999"] < summaries["classical"]["p999"]
+    )
+    metrics["tail_inversion"] = bool(
+        classical_wins_amortized and deamortized_wins_p999
+    )
+    return metrics
+
+
+def _run_adversarial_sharded(workload) -> dict:
+    from repro.analysis.runner import run_workload
+
+    labeler = _sharded_labeler()
+    result = run_workload(labeler, workload)
+    metrics = _run_result_metrics(result, labeler)
+    metrics.update(_tail_metrics(result.tracker))
+    return metrics
+
+
+def run_flash_crowd(n: int, seed: int) -> dict:
+    """Sorted-ingest bursts into random regions on sharded classical PMAs."""
+    from repro.workloads.adversarial import FlashCrowdWorkload
+
+    return _run_adversarial_sharded(FlashCrowdWorkload(n, seed=seed))
+
+
+def run_compaction_storm(n: int, seed: int) -> dict:
+    """Clustered delete storms alternating with refills (shard-merge driver)."""
+    from repro.workloads.adversarial import CompactionStormWorkload
+
+    return _run_adversarial_sharded(CompactionStormWorkload(n, seed=seed))
+
+
+def run_drifting_zipf(n: int, seed: int) -> dict:
+    """Time-varying zipf skew: drifting hotspot with a skew ramp."""
+    from repro.workloads.adversarial import DriftingZipfWorkload
+
+    return _run_adversarial_sharded(DriftingZipfWorkload(n, seed=seed))
+
+
+# ---------------------------------------------------------------------------
 # Registries
 # ---------------------------------------------------------------------------
 CORE_SCENARIOS: dict[str, ScenarioSpec] = {
@@ -513,6 +611,27 @@ STORE_SCENARIOS: dict[str, ScenarioSpec] = {
             quick_n=1024,
             full_n=8192,
             run=run_durable_bulk_ingest,
+        ),
+    )
+}
+
+LATENCY_SCENARIOS: dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            "cliff_chaser", quick_n=256, full_n=512, run=run_cliff_chaser
+        ),
+        ScenarioSpec(
+            "flash_crowd", quick_n=1024, full_n=4096, run=run_flash_crowd
+        ),
+        ScenarioSpec(
+            "compaction_storm",
+            quick_n=1024,
+            full_n=4096,
+            run=run_compaction_storm,
+        ),
+        ScenarioSpec(
+            "drifting_zipf", quick_n=1024, full_n=4096, run=run_drifting_zipf
         ),
     )
 }

@@ -28,6 +28,14 @@ lock is then held per page and released between pages, so a long scan no
 longer pins writers out for the whole store — each page is individually
 consistent and the cursor key defines the resumption point.
 
+**Mutation latency tracking.**  Constructed with ``track_latency=True``,
+the service stamps every mutation (under its locks, so queueing on a
+contended stripe is part of the measured time) into a
+:class:`~repro.core.cost.CostTracker` — per-operation move-cost and
+wall-clock percentiles via :meth:`StoreService.latency_statistics`, with
+batches weight-expanded exactly like the workload runner's.  The clock is
+injectable for deterministic tests.
+
 **Background compaction.**  :meth:`StoreService.start_compactor` runs
 ``compact()`` on a daemon thread whenever the WAL grows past a threshold;
 the compaction itself takes the structure lock exclusively, so it is just
@@ -43,8 +51,10 @@ effect.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Hashable, Iterable, Sequence
 
+from repro.core.cost import CostTracker
 from repro.store.store import DurableStore
 
 
@@ -114,7 +124,14 @@ class RWLock:
 class StoreService:
     """Thread-safe durable-store server with striped read-write locking."""
 
-    def __init__(self, store: DurableStore, *, stripes: int | None = None) -> None:
+    def __init__(
+        self,
+        store: DurableStore,
+        *,
+        stripes: int | None = None,
+        track_latency: bool = False,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self._store = store
         if stripes is None:
             stripes = max(8, getattr(store.labeler, "shard_count", 8))
@@ -122,6 +139,8 @@ class StoreService:
         self._structure = RWLock()
         self._compactor: threading.Thread | None = None
         self._compactor_stop = threading.Event()
+        self._latency = CostTracker() if track_latency else None
+        self._clock = clock if clock is not None else time.perf_counter
 
     # ------------------------------------------------------------------
     @property
@@ -150,26 +169,57 @@ class StoreService:
     # Mutations: structure exclusive + key stripe(s) exclusive
     # ------------------------------------------------------------------
     def put(self, key, value) -> None:
+        started = self._clock() if self._latency is not None else 0.0
         with self._structure.write():
             with self._stripe(key).write():
-                self._store.put(key, value)
+                self._mutate(lambda: self._store.put(key, value), started, 1)
 
     def delete(self, key) -> None:
+        started = self._clock() if self._latency is not None else 0.0
         with self._structure.write():
             with self._stripe(key).write():
-                self._store.delete(key)
+                self._mutate(lambda: self._store.delete(key), started, 1)
 
     def put_many(self, items: Iterable[tuple[Hashable, object]]) -> int:
         materialized = list(items)
+        started = self._clock() if self._latency is not None else 0.0
         with self._structure.write():
             with self._all_stripes():
-                return self._store.put_many(materialized)
+                return self._mutate(
+                    lambda: self._store.put_many(materialized), started, None
+                )
 
     def delete_many(self, keys: Iterable[Hashable]) -> int:
         materialized = list(keys)
+        started = self._clock() if self._latency is not None else 0.0
         with self._structure.write():
             with self._all_stripes():
-                return self._store.delete_many(materialized)
+                return self._mutate(
+                    lambda: self._store.delete_many(materialized), started, None
+                )
+
+    def _mutate(self, action, started: float, operations: int | None):
+        """Run one mutation, recording moves + latency when tracking is on.
+
+        ``started`` was stamped *before* the locks were taken, so queueing
+        behind readers or other writers counts toward the observed latency
+        — the client-visible number, not just the structure's own work.
+        ``operations=None`` weights the event by the mutation's returned
+        count (the batch paths).
+        """
+        if self._latency is None:
+            return action()
+        before = self._store.map.costs.total_cost
+        result = action()
+        elapsed = max(0.0, self._clock() - started)
+        weight = operations if operations is not None else int(result)
+        if weight > 0:
+            self._latency.record_batch(
+                self._store.map.costs.total_cost - before,
+                weight,
+                latency=elapsed,
+            )
+        return result
 
     class _AllStripes:
         def __init__(self, stripes: Sequence[RWLock]) -> None:
@@ -250,6 +300,34 @@ class StoreService:
     def size(self) -> int:
         with self._structure.read():
             return len(self._store)
+
+    # ------------------------------------------------------------------
+    # Mutation latency statistics (``track_latency=True`` services)
+    # ------------------------------------------------------------------
+    @property
+    def mutation_costs(self) -> CostTracker | None:
+        """The mutation tracker, or ``None`` when tracking is off."""
+        return self._latency
+
+    def latency_statistics(self) -> dict[str, float]:
+        """Move-cost and wall-clock percentiles of the tracked mutations.
+
+        Empty when the service was built without ``track_latency=True`` or
+        no mutation has been recorded yet.  Batches are weight-expanded:
+        ``p999`` is a per-operation number on the same scale for singleton
+        and ``put_many`` traffic.
+        """
+        if self._latency is None or not self._latency.operations:
+            return {}
+        stats = {
+            "operations": float(self._latency.operations),
+            "total_moves": float(self._latency.total_cost),
+            "p50": self._latency.percentile(0.50),
+            "p99": self._latency.percentile(0.99),
+            "p999": self._latency.percentile(0.999),
+        }
+        stats.update(self._latency.latency_summary())
+        return stats
 
     # ------------------------------------------------------------------
     # Checkpoints (writers, as far as locking is concerned)

@@ -7,9 +7,19 @@ uniform random updates, bulk loads, append-only streams, hammer-insert
 hotspots (the adaptive bound of [18]), churn with deletions, skewed (zipfian)
 insertion points, prediction-augmented insertion streams (Corollary 12), and
 read-heavy serving mixes (YCSB-B-style point lookups and range scans over
-uniform or zipfian targets).
+uniform or zipfian targets).  The adversarial module adds the hostile
+patterns that expose tail behavior: rebalance-cliff chasing, drifting zipf
+skew, flash crowds, compaction storms, and sorted/random interleavings.
 """
 
+from repro.workloads.adversarial import (
+    ADVERSARIAL_WORKLOADS,
+    CompactionStormWorkload,
+    DriftingZipfWorkload,
+    FlashCrowdWorkload,
+    RebalanceCliffWorkload,
+    SortedRandomInterleaveWorkload,
+)
 from repro.workloads.base import Workload, synthesize_key
 from repro.workloads.random_uniform import RandomWorkload
 from repro.workloads.sequential import SequentialWorkload
@@ -21,8 +31,14 @@ from repro.workloads.predicted import PredictedWorkload
 from repro.workloads.mixed import MixedReadWriteWorkload, RangeScanWorkload
 
 __all__ = [
+    "ADVERSARIAL_WORKLOADS",
     "BulkLoadWorkload",
+    "CompactionStormWorkload",
+    "DriftingZipfWorkload",
+    "FlashCrowdWorkload",
     "HammerWorkload",
+    "RebalanceCliffWorkload",
+    "SortedRandomInterleaveWorkload",
     "MixedReadWriteWorkload",
     "PredictedWorkload",
     "RandomWorkload",

@@ -51,11 +51,19 @@ class ZipfianWorkload(Workload):
 
     def __iter__(self) -> Iterator[Operation]:
         rng = random.Random(self.seed)
+        # Offsets from a mid-stream anchor fall on *both* sides of the
+        # hotspot.  The direction draw is gated on a non-default anchor:
+        # with ``hotspot_position=0.0`` there is no left side, the stream
+        # consumes exactly one zipf draw per operation, and the committed
+        # seeded BENCH baselines stay bit-identical.
+        two_sided = self.hotspot_position != 0.0
         size = 0
         for _ in range(self.operations):
             universe = size + 1
             offset = self._zipf_index(rng, universe) - 1
             anchor = int(self.hotspot_position * size)
+            if two_sided and offset and rng.random() < 0.5:
+                offset = -offset
             rank = min(universe, max(1, anchor + offset + 1))
             yield Operation.insert(rank)
             size += 1

@@ -101,7 +101,151 @@ class TestSummary:
         tracker = CostTracker()
         tracker.record_many([1, 2, 3])
         summary = tracker.summary()
-        assert set(summary) == {"operations", "total_cost", "amortized", "worst_case", "p50", "p99"}
+        assert set(summary) == {
+            "operations",
+            "total_cost",
+            "amortized",
+            "worst_case",
+            "p50",
+            "p99",
+            "p999",
+        }
+
+    def test_summary_gains_latency_keys_when_latencies_recorded(self):
+        tracker = CostTracker()
+        tracker.record(1, latency=0.25)
+        tracker.record(2, latency=0.75)
+        summary = tracker.summary()
+        assert summary["latency_p50"] == pytest.approx(0.25)
+        assert summary["latency_p99"] == pytest.approx(0.75)
+        assert summary["latency_p999"] == pytest.approx(0.75)
+        assert summary["latency_max"] == pytest.approx(0.75)
+
+
+class TestWeightedPercentiles:
+    """The batch-blind percentile bugfix: per-op vs per-event views."""
+
+    def test_batched_run_matches_singleton_per_op_percentiles(self):
+        # The same 100 logical operations recorded two ways must agree on
+        # the per-operation percentile scale (the scale of `amortized`).
+        singleton = CostTracker()
+        for cost in [1] * 99 + [100]:
+            singleton.record(cost)
+        batched = CostTracker()
+        batched.record_batch(99, 99)  # 99 ops of per-op cost 1
+        batched.record(100)
+        assert batched.percentile(0.5) == pytest.approx(singleton.percentile(0.5))
+        assert batched.percentile(0.99) == pytest.approx(
+            singleton.percentile(0.99)
+        )
+        assert batched.tail_fraction(100) == pytest.approx(
+            singleton.tail_fraction(100)
+        )
+
+    def test_event_view_still_sees_whole_batches(self):
+        tracker = CostTracker()
+        tracker.record_batch(1000, 100)  # per-op cost 10
+        tracker.record(1)
+        # Per-op view: 100 ops of cost 10 and one of cost 1.
+        assert tracker.percentile(0.5) == pytest.approx(10.0)
+        # Event view: two events with costs {1, 1000}.
+        assert tracker.event_percentile(0.5) == 1
+        assert tracker.event_percentile(1.0) == 1000
+        assert tracker.event_tail_fraction(1000) == pytest.approx(0.5)
+
+    def test_percentile_fraction_validated(self):
+        tracker = CostTracker()
+        tracker.record(1)
+        with pytest.raises(ValueError):
+            tracker.percentile(1.5)
+        with pytest.raises(ValueError):
+            tracker.event_percentile(-0.1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        batches=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.integers(min_value=1, max_value=8),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_weighted_percentile_matches_expanded_multiset(
+        self, batches, fraction
+    ):
+        import math
+
+        tracker = CostTracker()
+        expanded: list[float] = []
+        for cost, weight in batches:
+            tracker.record_batch(cost * weight, weight)
+            expanded.extend([float(cost)] * weight)
+        expanded.sort()
+        index = min(
+            len(expanded) - 1,
+            max(0, math.ceil(fraction * len(expanded)) - 1),
+        )
+        assert tracker.percentile(fraction) == pytest.approx(expanded[index])
+
+
+class TestLatencyStatistics:
+    """Deterministic fake-clock latency capture and percentile edges."""
+
+    def test_no_latency_recorded_is_empty(self):
+        tracker = CostTracker()
+        tracker.record(5)
+        assert tracker.latency_events == 0
+        assert tracker.max_latency == 0.0
+        assert tracker.latency_percentile(0.999) == 0.0
+        assert tracker.latency_summary() == {}
+
+    def test_negative_latency_rejected(self):
+        tracker = CostTracker()
+        with pytest.raises(ValueError):
+            tracker.record(1, latency=-0.001)
+
+    def test_p999_nearest_rank_at_small_n(self):
+        # With n=10 samples, nearest-rank p999 targets ceil(0.999*10)=10,
+        # i.e. the maximum — the edge small benchmark runs hit constantly.
+        tracker = CostTracker()
+        for index in range(10):
+            tracker.record(1, latency=float(index))
+        assert tracker.latency_percentile(0.999) == 9.0
+        assert tracker.latency_percentile(0.5) == 4.0
+        # A single sample is every percentile.
+        lone = CostTracker()
+        lone.record(1, latency=0.125)
+        for fraction in (0.0, 0.5, 0.999, 1.0):
+            assert lone.latency_percentile(fraction) == 0.125
+
+    def test_batch_latency_is_per_operation(self):
+        tracker = CostTracker()
+        tracker.record_batch(10, 10, latency=1.0)  # 10 ops at 0.1 each
+        tracker.record(1, latency=0.5)
+        assert tracker.latency_percentile(0.5) == pytest.approx(0.1)
+        assert tracker.event_latency_percentile(0.5) == pytest.approx(0.5)
+        assert tracker.max_latency == pytest.approx(1.0)
+
+    def test_mixed_none_and_real_latencies(self):
+        tracker = CostTracker()
+        tracker.record(1)  # no latency — excluded from latency views
+        tracker.record(1, latency=0.25)
+        assert tracker.latency_events == 1
+        assert tracker.latency_percentile(0.5) == pytest.approx(0.25)
+
+    def test_merge_preserves_latencies(self):
+        left = CostTracker()
+        left.record(1, latency=0.1)
+        right = CostTracker()
+        right.record_batch(4, 2, latency=0.4)
+        merged = left.merge(right)
+        assert merged.latency_events == 2
+        assert merged.max_latency == pytest.approx(0.4)
+        assert merged.latency_percentile(0.999) == pytest.approx(0.2)
+        assert merged.latency_percentile(0.0) == pytest.approx(0.1)
 
 
 class TestRestructureStatistics:

@@ -29,6 +29,7 @@ import pytest
 
 import repro.perf.__main__ as perf_cli
 from repro.perf.baseline import (
+    COMPATIBLE_SCHEMA_VERSIONS,
     DEFAULT_SEED,
     MOVE_METRICS,
     SCHEMA_VERSION,
@@ -38,6 +39,7 @@ from repro.perf.baseline import (
     baseline_filename,
     compare_baselines,
     generate_suite,
+    is_wall_clock_metric,
     load_baseline,
     strip_wall_clock,
     trajectory_entry,
@@ -55,10 +57,13 @@ def _committed(suite: str) -> dict:
 
 
 class TestCommittedBaselines:
-    @pytest.mark.parametrize("suite", ["core", "sharded", "store"])
+    @pytest.mark.parametrize("suite", ["core", "sharded", "store", "latency"])
     def test_schema(self, suite):
+        # Version-1 documents committed before the latency bump stay valid
+        # (the bump was additive); anything outside the compatible set is
+        # stale.
         document = _committed(suite)
-        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["schema_version"] in COMPATIBLE_SCHEMA_VERSIONS
         assert document["suite"] == suite
         assert isinstance(document["seed"], int)
         assert document["quick"] is False
@@ -67,7 +72,7 @@ class TestCommittedBaselines:
             assert entry["sizes"]
             for metrics in entry["sizes"].values():
                 assert "operations" in metrics
-                assert "elapsed_seconds" in metrics
+                assert any(is_wall_clock_metric(metric) for metric in metrics)
                 assert any(metric in metrics for metric in MOVE_METRICS)
 
     def test_core_acceptance_numbers(self):
@@ -92,6 +97,30 @@ class TestCommittedBaselines:
         comparison = compare_baselines(document, fresh)
         assert comparison.ok, comparison.failures
         # Determinism is stronger than the tolerance: zero drift warnings.
+        drift = [w for w in comparison.warnings if "drifted" in w]
+        assert not drift, drift
+
+    def test_latency_acceptance_numbers(self):
+        # The latency suite's acceptance row: under the cliff-chaser the
+        # deamortized PMA must beat classical on p999 move cost while
+        # classical wins the amortized average — at the quick and the full
+        # size, with the tail_inversion flag recording it for the CI
+        # comparator.
+        document = _committed("latency")
+        assert document["schema_version"] == SCHEMA_VERSION
+        sizes = document["scenarios"]["cliff_chaser"]["sizes"]
+        assert len(sizes) >= 2
+        for entry in sizes.values():
+            assert entry["tail_inversion"] is True
+            assert entry["classical_amortized"] < entry["deamortized_amortized"]
+            assert entry["deamortized_p999"] < entry["classical_p999"]
+            assert entry["classical_latency_p999"] > 0.0
+
+    def test_latency_quick_regeneration_matches_committed(self):
+        document = _committed("latency")
+        fresh = generate_suite("latency", quick=True, seed=document["seed"])
+        comparison = compare_baselines(document, fresh)
+        assert comparison.ok, comparison.failures
         drift = [w for w in comparison.warnings if "drifted" in w]
         assert not drift, drift
 
@@ -179,10 +208,55 @@ class TestComparator:
         assert comparison.ok
         assert any("wall-clock" in warning for warning in comparison.warnings)
 
+    def test_latency_metrics_only_warn(self):
+        # Latency numbers come from a real clock: a noisy CI box tripling
+        # them must never hard-fail the comparator, in any position of the
+        # metric name (bare or per-algorithm prefixed).
+        baseline = _quick_core_document()
+        entry = baseline["scenarios"]["insert_heavy"]["sizes"]["512"]
+        entry["latency_p999"] = 0.001
+        entry["classical_latency_p50"] = 0.0005
+        fresh = copy.deepcopy(baseline)
+        fresh_entry = fresh["scenarios"]["insert_heavy"]["sizes"]["512"]
+        fresh_entry["latency_p999"] = 0.1
+        fresh_entry["classical_latency_p50"] = 0.05
+        comparison = compare_baselines(baseline, fresh)
+        assert comparison.ok
+        assert sum(
+            "wall-clock" in warning for warning in comparison.warnings
+        ) == 2
+
+    def test_tail_inversion_loss_fails(self):
+        # The latency suite's paper-story flag is a correctness flag: the
+        # deamortized structure losing its p999 edge is a regression, not
+        # noise.
+        baseline = _quick_core_document()
+        baseline["scenarios"]["insert_heavy"]["sizes"]["512"][
+            "tail_inversion"
+        ] = True
+        fresh = copy.deepcopy(baseline)
+        fresh["scenarios"]["insert_heavy"]["sizes"]["512"][
+            "tail_inversion"
+        ] = False
+        comparison = compare_baselines(baseline, fresh)
+        assert not comparison.ok
+        assert any("p999" in failure for failure in comparison.failures)
+
+    def test_old_schema_version_still_compares(self):
+        # The version bump was additive: a committed version-1 baseline
+        # must keep validating against a current fresh run unchanged.
+        baseline = _quick_core_document()
+        baseline["schema_version"] = 1
+        fresh = _quick_core_document()
+        assert fresh["schema_version"] == SCHEMA_VERSION
+        comparison = compare_baselines(baseline, fresh)
+        assert comparison.ok, comparison.failures
+
     def test_schema_version_mismatch_fails(self):
         baseline = _quick_core_document()
         fresh = copy.deepcopy(baseline)
         fresh["schema_version"] = SCHEMA_VERSION + 1
+        assert fresh["schema_version"] not in COMPATIBLE_SCHEMA_VERSIONS
         comparison = compare_baselines(baseline, fresh)
         assert not comparison.ok
 
@@ -348,7 +422,7 @@ class TestTrajectory:
         assert len(document["trajectory"]) == TRAJECTORY_LIMIT
 
     def test_committed_baselines_carry_history(self):
-        for suite in ("core", "sharded", "store"):
+        for suite in ("core", "sharded", "store", "latency"):
             history = _committed(suite).get("trajectory", [])
             assert history, f"BENCH_{suite}.json has an empty trajectory"
 
@@ -372,16 +446,16 @@ class TestDeterminism:
         script = (
             "import json\n"
             "from repro.perf.baseline import generate_suite, strip_wall_clock\n"
-            "for suite in ('core', 'sharded', 'store'):\n"
+            "for suite in ('core', 'sharded', 'store', 'latency'):\n"
             "    doc = strip_wall_clock(generate_suite(suite, quick=True, seed=4242))\n"
             "    print(json.dumps(doc, sort_keys=True))\n"
         )
         first = _run_in_fresh_process(script)
         second = _run_in_fresh_process(script)
         assert first == second
-        # Sanity: the output really is the three suite documents.
+        # Sanity: the output really is the four suite documents.
         lines = first.strip().splitlines()
-        assert len(lines) == 3
+        assert len(lines) == 4
         for line in lines:
             document = json.loads(line)
             for metrics in (
@@ -389,7 +463,7 @@ class TestDeterminism:
                 for entry in document["scenarios"].values()
                 for m in entry["sizes"].values()
             ):
-                assert not WALL_CLOCK_METRICS & set(metrics)
+                assert not any(is_wall_clock_metric(m) for m in metrics)
 
     def test_randomized_and_adaptive_move_logs_identical_across_processes(self):
         # Seeded structures must yield identical move logs regardless of the

@@ -722,6 +722,46 @@ class TestStoreService:
         reopened.verify()
         reopened.close()
 
+    def test_latency_tracking_off_by_default(self, tmp_path):
+        store = DurableStore(tmp_path / "svc", sync_policy="never")
+        service = StoreService(store)
+        service.put(1, "one")
+        assert service.mutation_costs is None
+        assert service.latency_statistics() == {}
+        service.close()
+
+    def test_latency_tracking_with_fake_clock(self, tmp_path):
+        # Each mutation spans exactly two clock reads, so with a
+        # one-tick-per-call fake every recorded event took 1.0s — exact,
+        # deterministic percentiles.
+        ticks = iter(range(10**6))
+
+        store = DurableStore(
+            tmp_path / "svc", algorithm="classical", shard_capacity=32,
+            sync_policy="never",
+        )
+        service = StoreService(
+            store, track_latency=True, clock=lambda: float(next(ticks))
+        )
+        for key in range(40):
+            service.put(key, key)
+        service.delete(0)
+        service.put_many([(100 + offset, offset) for offset in range(20)])
+        service.delete_many([100, 101])
+
+        stats = service.latency_statistics()
+        assert stats["operations"] == 63.0  # 40 puts + 1 del + 20 + 2
+        assert stats["total_moves"] == store.map.costs.total_cost
+        assert stats["p50"] <= stats["p99"] <= stats["p999"]
+        # Singleton events took 1 tick; the 20-op batch took 1 tick for 20
+        # ops (0.05 each), so the weighted median sits at the singletons.
+        assert stats["latency_max"] == pytest.approx(1.0)
+        assert stats["latency_p50"] == pytest.approx(1.0)
+        tracker = service.mutation_costs
+        assert tracker is not None
+        assert tracker.latency_percentile(0.0) == pytest.approx(1.0 / 20.0)
+        service.close()
+
 
 # ---------------------------------------------------------------------------
 # Hypothesis: ops interleaved with snapshot / compact / recover rules

@@ -8,11 +8,16 @@ import pytest
 
 from repro.workloads import (
     BulkLoadWorkload,
+    CompactionStormWorkload,
+    DriftingZipfWorkload,
+    FlashCrowdWorkload,
     HammerWorkload,
     PredictedWorkload,
     RandomWorkload,
+    RebalanceCliffWorkload,
     SequentialWorkload,
     SlidingWindowWorkload,
+    SortedRandomInterleaveWorkload,
     ZipfianWorkload,
     synthesize_key,
 )
@@ -40,8 +45,14 @@ ALL_WORKLOADS = [
     HammerWorkload(200, seed=2),
     BulkLoadWorkload(200, batch_size=16, seed=3),
     ZipfianWorkload(200, skew=1.3, seed=4),
+    ZipfianWorkload(200, skew=1.3, hotspot_position=0.5, seed=4),
     SlidingWindowWorkload(300, window=50),
     PredictedWorkload(200, eta=8, seed=5),
+    RebalanceCliffWorkload(300, seed=6),
+    DriftingZipfWorkload(300, seed=7),
+    FlashCrowdWorkload(300, burst_length=16, burst_every=64, seed=8),
+    CompactionStormWorkload(400, storm_length=32, seed=9),
+    SortedRandomInterleaveWorkload(300, run_length=32, seed=10),
 ]
 
 
@@ -105,6 +116,59 @@ class TestSpecificShapes:
             SlidingWindowWorkload(10, window=0)
         with pytest.raises(ValueError):
             BulkLoadWorkload(10, batch_size=0)
+
+
+class TestZipfianHotspot:
+    """The one-sided-hotspot bugfix: two-sided offsets, seed-gated."""
+
+    def test_default_hotspot_stream_bit_identical_to_legacy(self):
+        # With hotspot_position=0.0 the committed BENCH baselines' draw
+        # stream must survive the two-sided fix: exactly one zipf draw per
+        # operation and no direction draw.
+        import random
+
+        from repro.workloads.mixed import zipf_index
+
+        workload = ZipfianWorkload(128, skew=1.2, seed=11)
+        ranks = [op.rank for op in workload]
+        rng = random.Random(11)
+        expected = []
+        size = 0
+        for _ in range(128):
+            universe = size + 1
+            offset = zipf_index(rng, universe, 1.2) - 1
+            expected.append(min(universe, max(1, offset + 1)))
+            size += 1
+        assert ranks == expected
+
+    def test_mid_hotspot_mass_on_both_sides(self):
+        # A 0.5 hotspot must spread insertions to both sides of the
+        # anchor; the one-sided sampler put everything at or right of it.
+        workload = ZipfianWorkload(400, skew=1.2, hotspot_position=0.5, seed=12)
+        below = above = 0
+        size = 0
+        for operation in workload:
+            anchor = int(0.5 * size) + 1
+            if size >= 50:
+                if operation.rank < anchor:
+                    below += 1
+                elif operation.rank > anchor:
+                    above += 1
+            size += 1
+        assert below > 20
+        assert above > 20
+
+    def test_end_hotspot_no_longer_degenerates_into_a_clamp_pile(self):
+        # hotspot_position=1.0 used to clamp almost every draw to the max
+        # rank (an accidental append-hammer); two-sided offsets spread it.
+        workload = ZipfianWorkload(300, skew=1.2, hotspot_position=1.0, seed=13)
+        size = 0
+        clamped = 0
+        for operation in workload:
+            if size >= 50 and operation.rank == size + 1:
+                clamped += 1
+            size += 1
+        assert clamped < 200
 
 
 class TestSynthesizeKey:
