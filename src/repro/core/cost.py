@@ -92,15 +92,21 @@ class CostTracker:
     ) -> None:
         """Record a batch of ``operations`` logical ops with one total cost.
 
-        An empty batch (``operations == 0``) is a no-op; the batch appears
-        as a single event in the event-level statistics and as
-        ``operations`` operations in the element-level ones.  ``latency``
-        is the wall-clock duration of the whole batch.
+        The batch appears as a single event in the event-level statistics
+        and as ``operations`` operations in the element-level ones.
+        ``latency`` is the wall-clock duration of the whole batch.
+
+        A **zero-applied batch** (``operations == 0`` — e.g. a
+        ``delete_many`` whose key set was empty) is recorded as a
+        weight-0 event: it contributes nothing to the per-operation views
+        (there is no operation to attribute its cost to), but it *is* a
+        call that happened and took wall-clock time, so it stays visible
+        to the event-level statistics — :meth:`event_percentile`,
+        :meth:`event_latency_percentile`, :attr:`events` — where a no-op
+        stall must not be able to hide from the tail percentiles.
         """
         if operations < 0:
             raise ValueError("batch size cannot be negative")
-        if operations == 0:
-            return
         self._record_event(total_cost, operations, latency)
 
     def _record_event(
@@ -371,6 +377,7 @@ class CostTracker:
         pairs = [
             (cost / weight, weight)
             for cost, weight in zip(self._costs, self._weights)
+            if weight
         ]
         return self._weighted_nearest_rank(pairs, fraction)
 
@@ -395,7 +402,7 @@ class CostTracker:
         heavy = sum(
             weight
             for cost, weight in zip(self._costs, self._weights)
-            if cost / weight >= threshold
+            if weight and cost / weight >= threshold
         )
         return heavy / self._operations
 
@@ -434,7 +441,7 @@ class CostTracker:
         pairs = [
             (latency / weight, weight)
             for latency, weight in zip(self._latencies, self._weights)
-            if latency is not None
+            if latency is not None and weight
         ]
         return self._weighted_nearest_rank(pairs, fraction)
 

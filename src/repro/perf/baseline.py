@@ -1,8 +1,8 @@
 """Schema-versioned benchmark baselines and the regression comparator.
 
 The committed artifacts are ``BENCH_core.json``, ``BENCH_sharded.json``,
-``BENCH_store.json``, ``BENCH_query.json`` and ``BENCH_latency.json`` at
-the repository root:
+``BENCH_store.json``, ``BENCH_query.json``, ``BENCH_latency.json`` and
+``BENCH_server.json`` at the repository root:
 
 .. code-block:: json
 
@@ -59,6 +59,7 @@ from repro.perf.scenarios import (
     CORE_SCENARIOS,
     LATENCY_SCENARIOS,
     QUERY_SCENARIOS,
+    SERVER_SCENARIOS,
     SHARDED_SCENARIOS,
     STORE_SCENARIOS,
     ScenarioSpec,
@@ -86,6 +87,7 @@ SUITES: dict[str, dict[str, ScenarioSpec]] = {
     "store": STORE_SCENARIOS,
     "query": QUERY_SCENARIOS,
     "latency": LATENCY_SCENARIOS,
+    "server": SERVER_SCENARIOS,
 }
 
 #: Entries kept in a baseline file's ``trajectory`` history list.
@@ -122,6 +124,10 @@ _CORRECTNESS_FLAGS = {
     "tail_inversion": (
         "deamortized no longer beats classical on p999 move cost while "
         "classical wins amortized (the latency suite's paper-story check)"
+    ),
+    "replicas_match": (
+        "replica state digest diverged from the primary (WAL shipping no "
+        "longer reproduces byte-identical state)"
     ),
 }
 

@@ -21,7 +21,18 @@ into an actual store.  Four layers, bottom up:
   log;
 * :mod:`repro.store.service` — :class:`~repro.store.service.StoreService`:
   a concurrent front-end with striped per-shard read-write locks,
-  snapshot-consistent range scans, and an optional background compactor.
+  snapshot-consistent range scans, and an optional background compactor;
+* :mod:`repro.store.protocol` / :mod:`repro.store.server` /
+  :mod:`repro.store.client` — the **networked front-end**: a
+  length-prefixed JSON wire protocol over the store codec, an asyncio
+  :class:`~repro.store.server.StoreServer` dispatching every command onto
+  the service's striped locks, and a blocking
+  :class:`~repro.store.client.StoreClient` mirroring the service API;
+* :mod:`repro.store.replica` — **WAL-shipping replication**:
+  :class:`~repro.store.replica.Replica` bootstraps from the primary's
+  newest snapshot, streams WAL frames verbatim (byte-identical state by
+  construction), catches up after disconnects, serves read traffic, and
+  promotes to a writable primary on failover.
 
 Because every registered shard algorithm snapshots its *complete*
 behavioural state (slot layout, RNG state, pending rebalance tasks,
@@ -45,22 +56,34 @@ Quickstart::
 Command line: ``python -m repro.store {snapshot,recover,verify,compact}``.
 """
 
+from repro.store.client import ReadOnlyError, StoreClient, StoreClientError
 from repro.store.factories import DEFAULT_ALGORITHM, SHARD_FACTORIES
+from repro.store.protocol import ProtocolError
+from repro.store.replica import Replica
+from repro.store.server import ServerThread, StoreServer
 from repro.store.service import RWLock, StoreService
 from repro.store.snapshot import SnapshotInfo, list_snapshots
 from repro.store.store import DurableStore, RecoveryReport, StoreError
-from repro.store.wal import WALError, WriteAheadLog
+from repro.store.wal import WALError, WALTruncateReport, WriteAheadLog
 
 __all__ = [
     "DEFAULT_ALGORITHM",
     "DurableStore",
+    "ProtocolError",
     "RWLock",
+    "ReadOnlyError",
     "RecoveryReport",
+    "Replica",
     "SHARD_FACTORIES",
+    "ServerThread",
     "SnapshotInfo",
+    "StoreClient",
+    "StoreClientError",
     "StoreError",
+    "StoreServer",
     "StoreService",
     "WALError",
+    "WALTruncateReport",
     "WriteAheadLog",
     "list_snapshots",
 ]

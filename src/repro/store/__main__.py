@@ -18,6 +18,13 @@
   read path (one labeler-cursor page per ``--page-size`` keys), printing
   ``key<TAB>value`` lines plus a trailing summary.  Keys given on the
   command line parse as JSON with a plain-string fallback.
+* ``replica-smoke [--frames N] [--seed S]`` — the replication
+  convergence drill the ``replication-smoke`` CI job runs: serve a
+  primary, stream a replica, kill it mid-catch-up, restart it (stream
+  resume from its own WAL), then compact the primary past the replica's
+  LSN and restart again (snapshot bootstrap).  Each round must end with
+  the replica's state digest *exactly* equal to the primary's at zero
+  lag; exits nonzero otherwise.
 
 A maintenance command pointed at a directory holding no store refuses to
 run (a mistyped ``--dir`` must not conjure an empty store and call it
@@ -141,6 +148,143 @@ def _factory_sweep(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _cmd_replica_smoke(args: argparse.Namespace) -> int:
+    """Kill-and-restart replication convergence, both catch-up paths.
+
+    Round A kills the replica mid-catch-up and restarts it: the restart
+    recovers the replica's own WAL and *streams* the missing tail (no
+    bootstrap).  Round B stops it, compacts the primary past its applied
+    LSN and restarts: the handshake must fall back to a *snapshot
+    bootstrap*.  Both rounds end by comparing state digests — the
+    byte-identical fingerprint (keys, items, composed labels, per-shard
+    physical layout) of primary and replica must be equal at zero lag.
+    """
+    import time
+    from pathlib import Path
+
+    from repro.store.harness import apply_to_store, make_ops, state_digest
+    from repro.store.replica import Replica
+    from repro.store.server import ServerThread
+    from repro.store.service import StoreService
+
+    frames = args.frames
+    ops = make_ops(frames, args.seed)
+    backlog, live = ops[: 2 * frames // 3], ops[2 * frames // 3 :]
+    root = Path(tempfile.mkdtemp(prefix="repro-replica-smoke-"))
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        print(("ok    : " if condition else "FAIL  : ") + message)
+        if not condition:
+            failures.append(message)
+
+    try:
+        store = DurableStore(
+            root / "primary",
+            algorithm="classical",
+            shard_capacity=64,
+            sync_policy="never",
+        )
+        service = StoreService(store, stripes=8)
+        with ServerThread(service) as server:
+            print(f"primary: serving at "
+                  f"{server.address[0]}:{server.address[1]}")
+
+            # Round A: the replica streams live while the primary writes
+            # the backlog; it is killed as soon as it has applied a frame
+            # — strictly mid-catch-up, with most of the workload still to
+            # come — then restarted once the primary has finished.
+            replica = Replica(
+                root / "replica", server.address, sync_policy="never"
+            )
+            replica.start()
+            replica.wait_ready(timeout=60.0)
+            killed_at = None
+            for index, op in enumerate(backlog):
+                apply_to_store(service, op)
+                if index % 8 == 0:
+                    # Pace the writer: an unbroken put loop would hold the
+                    # service's write locks continuously and starve the
+                    # replication feeder (and the bootstrap snapshot) of
+                    # the structure lock.
+                    time.sleep(0.001)
+                if killed_at is None and replica.last_applied_lsn >= 1:
+                    replica.stop()
+                    killed_at = replica.last_applied_lsn
+            if killed_at is None:
+                replica.stop()
+                killed_at = replica.last_applied_lsn
+            for op in live:  # the primary moves on while the replica is down
+                apply_to_store(service, op)
+            print(f"round A: killed replica at applied lsn {killed_at} "
+                  f"(primary finished at {store.last_lsn})")
+            check(
+                1 <= killed_at < store.last_lsn,
+                "kill point was strictly mid-catch-up",
+            )
+            restarted = Replica(
+                root / "replica", server.address, sync_policy="never"
+            )
+            restarted.start()
+            restarted.wait_ready(timeout=60.0)
+            restarted.wait_caught_up(store.last_lsn, timeout=60.0)
+            check(
+                restarted.bootstrap_count == 0,
+                "restart resumed from its own WAL (no snapshot bootstrap)",
+            )
+            check(
+                restarted.last_applied_lsn == store.last_lsn,
+                f"zero lag after restart (applied {restarted.last_applied_lsn}"
+                f" of {store.last_lsn})",
+            )
+            check(
+                state_digest(restarted.service.store.map)
+                == state_digest(store.map),
+                "round A state digest equals the primary's",
+            )
+            restarted.stop()
+            resumed_lsn = restarted.last_applied_lsn
+
+            # Round B: compaction moves the horizon past the stopped
+            # replica, so its next connection must snapshot-bootstrap.
+            for op in make_ops(max(8, frames // 8), args.seed + 1):
+                apply_to_store(service, op)
+            service.compact()
+            check(
+                store.durable_horizon > resumed_lsn,
+                f"compaction advanced the horizon past the replica "
+                f"({store.durable_horizon} > {resumed_lsn})",
+            )
+            rebootstrapped = Replica(
+                root / "replica", server.address, sync_policy="never"
+            )
+            rebootstrapped.start()
+            rebootstrapped.wait_ready(timeout=60.0)
+            rebootstrapped.wait_caught_up(store.last_lsn, timeout=60.0)
+            check(
+                rebootstrapped.bootstrap_count == 1,
+                "behind-horizon restart fell back to a snapshot bootstrap",
+            )
+            check(
+                rebootstrapped.last_applied_lsn == store.last_lsn,
+                "zero lag after bootstrap",
+            )
+            check(
+                state_digest(rebootstrapped.service.store.map)
+                == state_digest(store.map),
+                "round B state digest equals the primary's",
+            )
+            rebootstrapped.stop()
+        service.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    if failures:
+        print(f"replica-smoke: {len(failures)} failure(s)")
+        return 1
+    print("replica-smoke: converged byte-identically in both rounds")
+    return 0
+
+
 def _parse_key(text: str | None):
     """A CLI key: JSON when it parses, the raw string otherwise."""
     if text is None:
@@ -247,6 +391,16 @@ def main(argv: list[str] | None = None) -> int:
         help="scan in cursor pages of this many keys (the paginated path)",
     )
     scan.set_defaults(func=_cmd_scan)
+
+    smoke = sub.add_parser(
+        "replica-smoke",
+        help="kill-and-restart replication convergence drill (CI job)",
+    )
+    smoke.add_argument(
+        "--frames", type=int, default=1200, help="workload frames on the primary"
+    )
+    smoke.add_argument("--seed", type=int, default=20260730)
+    smoke.set_defaults(func=_cmd_replica_smoke)
 
     args = parser.parse_args(argv)
     return args.func(args)

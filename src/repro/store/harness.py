@@ -145,6 +145,23 @@ def fingerprint(pmm: PackedMemoryMap) -> dict:
     return state
 
 
+def state_digest(pmm: PackedMemoryMap) -> str:
+    """Stable hex digest of :func:`fingerprint` (replication convergence).
+
+    Two stores with equal digests hold the same keys, the same items, the
+    same composed labels and the same per-shard physical layout — the
+    byte-identical-state claim the replica-smoke CI job asserts without
+    shipping whole fingerprints across process boundaries.
+    """
+    import hashlib
+
+    from repro.store import codec
+
+    return hashlib.sha256(
+        codec.dumps(fingerprint(pmm)).encode("utf-8")
+    ).hexdigest()
+
+
 def crash_copy(
     source: Path,
     destination: Path,

@@ -139,8 +139,10 @@ class StoreService:
         self._structure = RWLock()
         self._compactor: threading.Thread | None = None
         self._compactor_stop = threading.Event()
+        self._compactor_error: BaseException | None = None
         self._latency = CostTracker() if track_latency else None
         self._clock = clock if clock is not None else time.perf_counter
+        self._retainer: Callable[[], int | None] | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -206,6 +208,13 @@ class StoreService:
         — the client-visible number, not just the structure's own work.
         ``operations=None`` weights the event by the mutation's returned
         count (the batch paths).
+
+        A batch that applied **zero** operations (``delete_many([])``,
+        ``put_many`` of nothing) still happened and still held the locks
+        for a measurable time: it is recorded as a weight-0 event, so the
+        event-level latency percentiles see the stall while the
+        per-operation views stay untouched — p999 cannot hide a no-op
+        stall just because nothing was applied.
         """
         if self._latency is None:
             return action()
@@ -213,12 +222,11 @@ class StoreService:
         result = action()
         elapsed = max(0.0, self._clock() - started)
         weight = operations if operations is not None else int(result)
-        if weight > 0:
-            self._latency.record_batch(
-                self._store.map.costs.total_cost - before,
-                weight,
-                latency=elapsed,
-            )
+        self._latency.record_batch(
+            self._store.map.costs.total_cost - before,
+            weight,
+            latency=elapsed,
+        )
         return result
 
     class _AllStripes:
@@ -315,18 +323,26 @@ class StoreService:
         Empty when the service was built without ``track_latency=True`` or
         no mutation has been recorded yet.  Batches are weight-expanded:
         ``p999`` is a per-operation number on the same scale for singleton
-        and ``put_many`` traffic.
+        and ``put_many`` traffic.  Zero-applied batches carry no
+        operations but still count as events, so the event-level keys
+        (``events``, ``latency_event_p999``, ``latency_max``) expose
+        no-op stalls the per-operation percentiles cannot see.
         """
-        if self._latency is None or not self._latency.operations:
+        if self._latency is None or not self._latency.events:
             return {}
         stats = {
             "operations": float(self._latency.operations),
+            "events": float(self._latency.events),
             "total_moves": float(self._latency.total_cost),
             "p50": self._latency.percentile(0.50),
             "p99": self._latency.percentile(0.99),
             "p999": self._latency.percentile(0.999),
         }
         stats.update(self._latency.latency_summary())
+        if self._latency.latency_events:
+            stats["latency_event_p999"] = self._latency.event_latency_percentile(
+                0.999
+            )
         return stats
 
     # ------------------------------------------------------------------
@@ -338,11 +354,68 @@ class StoreService:
 
     def compact(self) -> int:
         with self._structure.write():
-            return self._store.compact()
+            retain = self._retainer() if self._retainer is not None else None
+            return self._store.compact(retain_after=retain)
 
     def verify(self) -> dict:
         with self._structure.read():
             return self._store.verify()
+
+    # ------------------------------------------------------------------
+    # Replication hooks (the networked server builds on these)
+    # ------------------------------------------------------------------
+    @property
+    def durable_horizon(self) -> int:
+        """The LSN below which frames exist only in snapshots."""
+        with self._structure.read():
+            return self._store.durable_horizon
+
+    def ship_frames(
+        self, after_lsn: int, *, offset: int = 0, epoch: int | None = None
+    ) -> tuple[list[tuple[int, str]], int, int]:
+        """Thread-safe view of the live frame stream for replica feeders.
+
+        Holds the structure lock shared, so shipped frames are always a
+        durable prefix — never a mid-mutation torn read.
+        """
+        with self._structure.read():
+            return self._store.ship_frames(after_lsn, offset=offset, epoch=epoch)
+
+    def apply_frame_line(self, line: str) -> int:
+        """Apply one shipped frame (replica ingest) under full exclusion."""
+        with self._structure.write():
+            with self._all_stripes():
+                return self._store.apply_frame_line(line)
+
+    def snapshot_archive(self) -> tuple[int, dict[str, str]]:
+        """The newest checkpoint's files, for replica bootstrap.
+
+        Takes the structure lock exclusively: when no checkpoint exists
+        one is written first, and the returned files are read while no
+        writer can prune them from under the reader.
+        """
+        with self._structure.write():
+            return self._store.snapshot_archive()
+
+    def set_compaction_retainer(
+        self, retainer: Callable[[], int | None] | None
+    ) -> None:
+        """Install the replication server's retention floor.
+
+        ``retainer()`` returns the smallest LSN acknowledged by every
+        connected replica (or ``None`` for no constraint); ``compact``
+        keeps frames past it so a live replica's catch-up stream never
+        loses its tail to compaction.  Replicas that are *not* connected
+        do not hold the log hostage — they re-bootstrap from a snapshot.
+        """
+        self._retainer = retainer
+
+    def add_commit_listener(self, listener: Callable[[int], None]) -> None:
+        """Call ``listener(lsn)`` after every durable WAL append."""
+        self._store.wal.add_listener(listener)
+
+    def remove_commit_listener(self, listener: Callable[[int], None]) -> None:
+        self._store.wal.remove_listener(listener)
 
     # ------------------------------------------------------------------
     # Background compaction
@@ -353,23 +426,57 @@ class StoreService:
         wal_frame_threshold: int = 1024,
         poll_seconds: float = 0.05,
         on_compact: Callable[[int], None] | None = None,
+        on_error: Callable[[BaseException], None] | None = None,
     ) -> None:
-        """Run compaction on a daemon thread when the WAL grows too long."""
+        """Run compaction on a daemon thread when the WAL grows too long.
+
+        The loop survives failing iterations: an exception from
+        ``compact()`` or the ``on_compact`` callback is caught per poll,
+        stored (:attr:`last_compactor_error`), reported through the
+        ``on_error`` hook, and the thread keeps polling — a one-off
+        failure (a full disk that recovers, a flaky callback) must not
+        silently kill the compactor and let the WAL grow without bound.
+        :attr:`compactor_alive` says whether the thread is still running.
+        """
         if self._compactor is not None:
             raise RuntimeError("compactor already running")
         self._compactor_stop.clear()
+        self._compactor_error = None
 
         def loop() -> None:
             while not self._compactor_stop.wait(poll_seconds):
-                if self._store.wal_frames_since_snapshot >= wal_frame_threshold:
-                    lsn = self.compact()
-                    if on_compact is not None:
-                        on_compact(lsn)
+                try:
+                    if (
+                        self._store.wal_frames_since_snapshot
+                        >= wal_frame_threshold
+                    ):
+                        lsn = self.compact()
+                        if on_compact is not None:
+                            on_compact(lsn)
+                except Exception as error:
+                    self._compactor_error = error
+                    if on_error is not None:
+                        try:
+                            on_error(error)
+                        except Exception:
+                            # A broken error hook must not kill the loop
+                            # the hook exists to keep observable.
+                            pass
 
         self._compactor = threading.Thread(
             target=loop, name="repro-store-compactor", daemon=True
         )
         self._compactor.start()
+
+    @property
+    def compactor_alive(self) -> bool:
+        """Whether the background compactor thread is currently running."""
+        return self._compactor is not None and self._compactor.is_alive()
+
+    @property
+    def last_compactor_error(self) -> BaseException | None:
+        """The most recent exception a compactor iteration swallowed."""
+        return self._compactor_error
 
     def stop_compactor(self) -> None:
         if self._compactor is not None:

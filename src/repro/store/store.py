@@ -35,7 +35,7 @@ from repro.applications.ordered_map import PackedMemoryMap
 from repro.core.interface import ListLabeler
 from repro.store import snapshot as snapshot_io
 from repro.store.factories import DEFAULT_ALGORITHM, resolve_factory
-from repro.store.wal import WriteAheadLog
+from repro.store.wal import WALTruncateReport, WriteAheadLog
 
 CONFIG_SCHEMA_VERSION = 1
 CONFIG_FILENAME = "store.json"
@@ -131,6 +131,9 @@ class DurableStore:
             )
             self._frames_since_snapshot = 0
             self._last_snapshot_lsn = 0
+            self._horizon = 0
+            #: Report of the most recent :meth:`compact` WAL rewrite.
+            self.last_truncate_report: WALTruncateReport | None = None
             self.recovery = self._recover()
         except BaseException:
             self._release_directory_lock()
@@ -232,6 +235,17 @@ class DurableStore:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, path)
+        self._horizon = lsn
+
+    @property
+    def durable_horizon(self) -> int:
+        """The LSN through which the WAL has been compacted away.
+
+        Frames at or below this LSN are recoverable only from snapshots —
+        a replica whose applied LSN is below the horizon cannot catch up
+        from the log and must re-bootstrap from a checkpoint.
+        """
+        return self._horizon
 
     # ------------------------------------------------------------------
     # Recovery
@@ -258,7 +272,7 @@ class DurableStore:
             replayed += 1
         self._frames_since_snapshot = replayed
         last_lsn = max(report.last_lsn, snapshot_lsn)
-        horizon = self._read_horizon()
+        horizon = self._horizon = self._read_horizon()
         if last_lsn < horizon:
             # Compaction dropped frames up to `horizon` on the promise of
             # a durable checkpoint covering them; recovering to less means
@@ -390,12 +404,74 @@ class DurableStore:
         return self._map.labeler
 
     @property
+    def wal(self) -> WriteAheadLog:
+        """The underlying log (replication feeders register listeners here)."""
+        return self._wal
+
+    @property
     def last_lsn(self) -> int:
         return self._wal.next_lsn - 1
 
     @property
     def wal_frames_since_snapshot(self) -> int:
         return self._frames_since_snapshot
+
+    # ------------------------------------------------------------------
+    # Replication: frame shipping (primary) and shipped apply (replica)
+    # ------------------------------------------------------------------
+    def ship_frames(
+        self, after_lsn: int, *, offset: int = 0, epoch: int | None = None
+    ) -> tuple[list[tuple[int, str]], int, int]:
+        """Validated raw WAL lines with ``lsn > after_lsn`` (see
+        :meth:`~repro.store.wal.WriteAheadLog.read_frames`)."""
+        return self._wal.read_frames(after_lsn, offset=offset, epoch=epoch)
+
+    def apply_frame_line(self, line: str) -> int:
+        """Apply one frame shipped from a primary (replica ingest path).
+
+        The raw line is appended to this store's own WAL **verbatim**
+        (after full re-validation: CRC, version, LSN contiguity) and then
+        applied through the same :meth:`_apply` recovery uses — so a
+        replica's durable state is, frame for frame, byte-identical to
+        the primary's, and a replica restart is just ordinary recovery.
+        Returns the applied frame's LSN.
+        """
+        offset = self._wal.tell()
+        frame = self._wal.append_frame_line(line)
+        lsn = frame["lsn"]
+        try:
+            self._apply(frame["op"], frame)
+        except BaseException:
+            self._wal.rollback_last(offset, lsn)
+            raise
+        self._frames_since_snapshot += 1
+        if (
+            self.compact_every is not None
+            and self._frames_since_snapshot >= self.compact_every
+        ):
+            self.compact()
+        return lsn
+
+    def snapshot_archive(self) -> tuple[int, dict[str, str]]:
+        """The newest checkpoint as ``(lsn, {filename: body})``.
+
+        The replica-bootstrap payload: the manifest plus every shard file
+        of the newest snapshot, read back verbatim (their checksums are
+        already inside the manifest, so the receiving side re-validates
+        with the ordinary snapshot loader).  Takes a fresh checkpoint
+        first when none exists yet.
+        """
+        snapshots = snapshot_io.list_snapshots(self.directory)
+        if not snapshots:
+            self.snapshot()
+            snapshots = snapshot_io.list_snapshots(self.directory)
+        info = snapshots[-1]
+        files = {
+            entry.name: entry.read_text()
+            for entry in sorted(info.path.iterdir())
+            if entry.is_file()
+        }
+        return info.lsn, files
 
     # ------------------------------------------------------------------
     # Checkpoints and compaction
@@ -420,17 +496,41 @@ class DurableStore:
         self._frames_since_snapshot = 0
         return lsn
 
-    def compact(self) -> int:
+    def compact(self, *, retain_after: int | None = None) -> int:
         """Snapshot, then drop the WAL prefix the snapshot made redundant.
 
         The durable horizon is recorded *between* the two steps: once the
         checkpoint is durable and before any frame is dropped, so a crash
         anywhere in the sequence leaves either the frames or a horizon
         that the (durable) checkpoint satisfies.
+
+        ``retain_after`` keeps frames with ``lsn > retain_after`` in the
+        log even though the new checkpoint covers them — the replication
+        server passes the slowest connected replica's acknowledged LSN so
+        compaction never steals the tail a replica is still streaming.
+
+        The rewrite re-validates every retained frame (see
+        :meth:`~repro.store.wal.WriteAheadLog.truncate_through`).  If any
+        retained frame fails validation, the whole retained tail is
+        untrusted; since the checkpoint just written covers every frame
+        anyway, the escalation is to truncate the log *completely* — the
+        horizon moves to the checkpoint LSN, replicas below it fall back
+        to snapshot bootstrap, and — crucially — the log never keeps a
+        frame a recovery would choke on, and never develops an LSN gap
+        between its tail and the next live append.
         """
         lsn = self.snapshot()
-        self._write_horizon(lsn)
-        self._wal.truncate_through(lsn)
+        cut = lsn if retain_after is None else max(0, min(lsn, retain_after))
+        self._write_horizon(cut)
+        report = self._wal.truncate_through(cut)
+        if report.suspect_reason is not None:
+            self._write_horizon(lsn)
+            full = self._wal.truncate_through(lsn)
+            full.suspect_reason = report.suspect_reason
+            full.suspect_frames = report.suspect_frames
+            full.suspect_bytes = report.suspect_bytes
+            report = full
+        self.last_truncate_report = report
         return lsn
 
     def _values_by_shard(self) -> list[list]:

@@ -47,6 +47,23 @@ class WALError(RuntimeError):
 
 
 @dataclass
+class WALTruncateReport:
+    """What :meth:`WriteAheadLog.truncate_through` kept and dropped.
+
+    ``suspect_frames``/``suspect_bytes`` count retained-range lines that
+    *failed* re-validation (corrupt, wrong version, out of sequence) and
+    were therefore discarded along with everything after them;
+    ``suspect_reason`` says why.  A clean compaction has
+    ``suspect_reason is None``.
+    """
+
+    retained_frames: int = 0
+    suspect_frames: int = 0
+    suspect_bytes: int = 0
+    suspect_reason: str | None = None
+
+
+@dataclass
 class WALOpenReport:
     """What :meth:`WriteAheadLog.open` found on disk."""
 
@@ -71,6 +88,8 @@ class WriteAheadLog:
         self.sync_policy = sync_policy
         self._file = None
         self._next_lsn = 1
+        self._listeners: list = []
+        self._truncate_epoch = 0
 
     # ------------------------------------------------------------------
     # Opening and torn-tail recovery
@@ -172,7 +191,104 @@ class WriteAheadLog:
             os.fsync(self._file.fileno())
         lsn = self._next_lsn
         self._next_lsn += 1
+        self._notify(lsn)
         return lsn
+
+    def append_frame_line(self, line: str) -> dict:
+        """Append one *already-framed* line verbatim (replica apply path).
+
+        The line is what a primary's :meth:`append` wrote — CRC, version
+        and LSN included — shipped over the replication stream.  It is
+        re-validated exactly like recovery would validate it (checksum,
+        schema version, ``lsn == next_lsn``) before a single byte lands in
+        the file, so a corrupt or out-of-sequence shipped frame raises
+        instead of poisoning the replica's own log; because the accepted
+        bytes are written untouched, the replica's WAL stays byte-identical
+        to the primary's frame stream by construction.
+
+        Returns the decoded frame.
+        """
+        if self._file is None:
+            raise WALError("log is not open")
+        if not line.endswith("\n"):
+            line = line + "\n"
+        probe = WALOpenReport()
+        frame = self._parse_frame(line.encode("utf-8"), self._next_lsn, probe)
+        if frame is None:
+            raise WALError(
+                f"rejected shipped frame: {probe.truncation_reason}"
+            )
+        self._file.write(line)
+        self._file.flush()
+        if self.sync_policy == "always":
+            os.fsync(self._file.fileno())
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        self._notify(lsn)
+        return frame
+
+    # ------------------------------------------------------------------
+    # Live frame stream (replication shipping)
+    # ------------------------------------------------------------------
+    @property
+    def truncate_epoch(self) -> int:
+        """Bumped on every :meth:`truncate_through` rewrite.
+
+        Byte offsets handed out by :meth:`read_frames` are only valid
+        within one epoch — compaction rewrites the file, so a reader that
+        cached an offset must restart from 0 when the epoch moved.
+        """
+        return self._truncate_epoch
+
+    def add_listener(self, listener) -> None:
+        """Call ``listener(lsn)`` after every durable append (live tail
+        notification for replication feeders)."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
+    def _notify(self, lsn: int) -> None:
+        for listener in list(self._listeners):
+            listener(lsn)
+
+    def read_frames(
+        self, after_lsn: int, *, offset: int = 0, epoch: int | None = None
+    ) -> tuple[list[tuple[int, str]], int, int]:
+        """Validated raw frame lines with ``frame.lsn > after_lsn``.
+
+        The shipping read used by primary→replica WAL streaming: returns
+        ``(frames, end_offset, epoch)`` where ``frames`` is a list of
+        ``(lsn, line)`` pairs ready to send verbatim, ``end_offset`` is
+        the byte position after the last validated frame (pass it back as
+        ``offset`` on the next call to resume without rescanning), and
+        ``epoch`` is the :attr:`truncate_epoch` the offset belongs to.
+        A stale ``epoch`` resets the scan to the start of the (rewritten)
+        file.  Every line goes through :meth:`_parse_frame` — only frames
+        a recovery would accept are ever shipped; the scan stops at the
+        first invalid line.
+        """
+        if epoch is not None and epoch != self._truncate_epoch:
+            offset = 0
+        raw = self.path.read_bytes() if self.path.exists() else b""
+        frames: list[tuple[int, str]] = []
+        expected_lsn: int | None = None
+        position = min(offset, len(raw))
+        probe = WALOpenReport()
+        while position < len(raw):
+            newline = raw.find(b"\n", position)
+            if newline < 0:
+                break
+            line = raw[position : newline + 1]
+            frame = self._parse_frame(line, expected_lsn, probe)
+            if frame is None:
+                break
+            if frame["lsn"] > after_lsn:
+                frames.append((frame["lsn"], line.decode("utf-8")))
+            position = newline + 1
+            expected_lsn = frame["lsn"] + 1
+        return frames, position, self._truncate_epoch
 
     def tell(self) -> int:
         """Current end-of-log byte offset (a frame boundary)."""
@@ -201,6 +317,9 @@ class WriteAheadLog:
         if self.sync_policy != "never":
             os.fsync(self._file.fileno())
         self._next_lsn = lsn
+        # Cached read_frames offsets may point past (or into) the retracted
+        # bytes; invalidate them like a compaction rewrite would.
+        self._truncate_epoch += 1
 
     def ensure_next_lsn(self, minimum: int) -> None:
         """Advance the append position (after a compacted log reopens empty,
@@ -217,35 +336,65 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Compaction support
     # ------------------------------------------------------------------
-    def truncate_through(self, lsn: int) -> int:
+    def truncate_through(self, lsn: int) -> WALTruncateReport:
         """Drop every frame with ``frame.lsn <= lsn`` (atomic rewrite).
 
         Called by compaction after a snapshot has made the prefix
-        redundant.  Returns the number of frames retained.  The rewrite
-        goes through a temp file + ``os.replace`` + directory fsync, so a
-        crash mid-compaction leaves either the old or the new log, never a
-        mix.
+        redundant.  The rewrite goes through a temp file + ``os.replace``
+        + directory fsync, so a crash mid-compaction leaves either the
+        old or the new log, never a mix.
+
+        Every line of the file is **re-validated** through
+        :meth:`_parse_frame` (CRC, schema version, LSN contiguity), not
+        just re-parsed as JSON: a frame that bit-rotted *after* the log
+        was opened must not be rewritten into the retained tail, where it
+        would survive compaction and poison every later recovery (and
+        every replica catch-up reading the shipped stream).  The retained
+        tail is cut at the first bad frame; the returned
+        :class:`WALTruncateReport` says what was kept and what was
+        discarded as suspect.
         """
         self.close()
-        retained: list[str] = []
-        if self.path.exists():
-            with open(self.path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    try:
-                        document = json.loads(line)
-                    except ValueError:
-                        break
-                    if document.get("lsn", 0) > lsn:
-                        retained.append(line)
+        report = WALTruncateReport()
+        retained: list[bytes] = []
+        raw = self.path.read_bytes() if self.path.exists() else b""
+        expected_lsn: int | None = None
+        offset = 0
+        scan = WALOpenReport()  # collects _parse_frame's failure reason
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                scan.truncation_reason = "unterminated final frame"
+                break
+            line = raw[offset : newline + 1]
+            frame = self._parse_frame(line, expected_lsn, scan)
+            if frame is None:
+                break
+            if frame["lsn"] > lsn:
+                retained.append(line)
+            offset = newline + 1
+            expected_lsn = frame["lsn"] + 1
+        if offset < len(raw):
+            # Everything from the first bad frame on is untrusted — the
+            # sequence anchor is gone, so later "good-looking" frames
+            # cannot be re-validated either.
+            suspect = raw[offset:]
+            report.suspect_reason = scan.truncation_reason
+            report.suspect_bytes = len(suspect)
+            report.suspect_frames = suspect.count(b"\n") + (
+                0 if suspect.endswith(b"\n") else 1
+            )
         tmp = self.path.with_suffix(".tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
+        with open(tmp, "wb") as handle:
             handle.writelines(retained)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp, self.path)
         _fsync_directory(self.path.parent)
         self._file = open(self.path, "a", encoding="utf-8")
-        return len(retained)
+        self._truncate_epoch += 1
+        report.retained_frames = len(retained)
+        return report
 
     def close(self) -> None:
         if self._file is not None:

@@ -851,3 +851,382 @@ TestDurableStoreMachine = DurableStoreMachine.TestCase
 TestDurableStoreMachine.settings = settings(
     max_examples=10, stateful_step_count=25, deadline=None
 )
+
+
+# ---------------------------------------------------------------------------
+# Compaction revalidates the retained WAL tail (regression)
+# ---------------------------------------------------------------------------
+class TestTruncateRevalidation:
+    def _open_wal(self, path: Path, frames: int) -> None:
+        wal = WriteAheadLog(path, sync_policy="never")
+        wal.open()
+        for i in range(frames):
+            wal.append("put", {"key": i, "value": i})
+        wal.close()
+
+    def test_bit_flipped_retained_frame_is_not_rewritten(self, tmp_path):
+        """truncate_through must route retained lines through full frame
+        validation — a corrupt line must not survive into the new log,
+        where it would poison every later recovery."""
+        path = tmp_path / "wal.jsonl"
+        self._open_wal(path, 8)
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Flip a bit inside frame 5 (lsn 5): retained range for cut=2.
+        corrupted = lines[4].replace(b'"key":4', b'"key":7')
+        path.write_bytes(b"".join(lines[:4] + [corrupted] + lines[5:]))
+
+        wal = WriteAheadLog(path, sync_policy="never")
+        wal.open()  # open() itself truncates at the corruption...
+        # ...so rebuild the corrupt file under an open handle, as bit rot
+        # after open (the compaction-time hazard) would leave it.
+        wal.close()
+        path.write_bytes(b"".join(lines[:4] + [corrupted] + lines[5:]))
+        wal = WriteAheadLog.__new__(WriteAheadLog)
+        wal.path = path
+        wal.sync_policy = "never"
+        wal._file = open(path, "a", encoding="utf-8")
+        wal._next_lsn = 9
+        wal._listeners = []
+        wal._truncate_epoch = 0
+
+        report = wal.truncate_through(2)
+        wal.close()
+        assert report.suspect_reason is not None
+        assert "checksum" in report.suspect_reason
+        assert report.retained_frames == 2          # lsn 3 and 4 only
+        assert report.suspect_frames == 4           # lsn 5..8 all untrusted
+        assert report.suspect_bytes > 0
+        kept = path.read_bytes().splitlines(keepends=True)
+        assert kept == lines[2:4]                   # corrupt tail dropped
+
+    def test_clean_truncate_reports_no_suspects(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        self._open_wal(path, 6)
+        wal = WriteAheadLog(path, sync_policy="never")
+        wal.open()
+        report = wal.truncate_through(4)
+        wal.close()
+        assert report.suspect_reason is None
+        assert report.suspect_frames == 0
+        assert report.retained_frames == 2
+
+    def test_store_compaction_escalates_on_corrupt_retained_frame(
+        self, tmp_path
+    ):
+        """Store-level regression: a retained frame that fails revalidation
+        escalates compaction to a full truncation (the snapshot covers
+        everything), and the store recovers exactly — no poisoned log, no
+        LSN gap between the file tail and the next live append."""
+        directory = tmp_path / "s"
+        store = DurableStore(
+            directory, algorithm="classical", shard_capacity=32,
+            sync_policy="never",
+        )
+        for i in range(10):
+            store.put(i, f"v{i}")
+        # Bit-rot frame 7 on disk while the store is live.
+        wal_path = directory / WAL_FILENAME
+        lines = wal_path.read_bytes().splitlines(keepends=True)
+        corrupted = lines[6].replace(b'"key":6', b'"key":0')
+        assert corrupted != lines[6]
+        wal_path.write_bytes(b"".join(lines[:6] + [corrupted] + lines[7:]))
+
+        lsn = store.compact(retain_after=4)  # wants to retain 5..10
+        report = store.last_truncate_report
+        assert report is not None
+        assert report.suspect_reason is not None
+        assert report.retained_frames == 0          # escalated: full cut
+        assert store.durable_horizon == lsn         # horizon at the snapshot
+        assert wal_path.read_bytes() == b""
+
+        # The next append continues the sequence with no gap...
+        store.put(100, "after")
+        expected = fingerprint(store.map)
+        store.close()
+        # ...and recovery reproduces the exact state.
+        reopened = DurableStore(directory, sync_policy="never")
+        assert fingerprint(reopened.map) == expected
+        reopened.verify()
+        reopened.close()
+
+
+# ---------------------------------------------------------------------------
+# The compactor daemon survives failing iterations (regression)
+# ---------------------------------------------------------------------------
+class TestCompactorResilience:
+    def test_poisoned_callback_does_not_kill_the_loop(self, tmp_path):
+        store = DurableStore(
+            tmp_path / "s", algorithm="classical", shard_capacity=32,
+            sync_policy="never",
+        )
+        service = StoreService(store)
+        failures = [3]          # the callback raises its first three calls
+        reported: list[BaseException] = []
+        compacted = threading.Event()
+
+        def poisoned(lsn: int) -> None:
+            if failures[0] > 0:
+                failures[0] -= 1
+                raise RuntimeError("flaky compaction hook")
+            compacted.set()
+
+        service.start_compactor(
+            wal_frame_threshold=5,
+            poll_seconds=0.001,
+            on_compact=poisoned,
+            on_error=reported.append,
+        )
+        # Each poisoned iteration still compacts (resetting the frame
+        # counter), so keep the WAL growing until an iteration's hook
+        # finally succeeds.  Yield between puts — a hot write loop can
+        # starve the compactor of the structure lock indefinitely.
+        import time as _time
+
+        start = _time.monotonic()
+        key = 0
+        while not compacted.is_set() and _time.monotonic() - start < 30:
+            service.put(key, key)
+            key += 1
+            _time.sleep(0.001)
+        assert compacted.wait(timeout=30), (
+            f"compactor never recovered (alive={service.compactor_alive}, "
+            f"last error: {service.last_compactor_error})"
+        )
+        # The loop survived the failing iterations, surfaced them, and
+        # kept going until an iteration succeeded.
+        assert service.compactor_alive
+        assert isinstance(service.last_compactor_error, RuntimeError)
+        assert len(reported) == 3
+        service.stop_compactor()
+        assert not service.compactor_alive
+        service.verify()
+        service.close()
+
+    def test_broken_error_hook_does_not_kill_the_loop(self, tmp_path):
+        store = DurableStore(
+            tmp_path / "s", algorithm="classical", shard_capacity=32,
+            sync_policy="never",
+        )
+        service = StoreService(store)
+        calls = [0]
+
+        def exploding_on_compact(lsn: int) -> None:
+            calls[0] += 1
+            raise RuntimeError("always fails")
+
+        def exploding_on_error(error: BaseException) -> None:
+            raise ValueError("the error hook itself is broken")
+
+        service.start_compactor(
+            wal_frame_threshold=3,
+            poll_seconds=0.001,
+            on_compact=exploding_on_compact,
+            on_error=exploding_on_error,
+        )
+        deadline = 30.0
+        import time as _time
+
+        start = _time.monotonic()
+        while calls[0] < 2 and _time.monotonic() - start < deadline:
+            service.put(calls[0] * 1000 + len(str(calls[0])), "x")
+            _time.sleep(0.001)
+        assert calls[0] >= 2        # iterations kept coming
+        assert service.compactor_alive
+        service.stop_compactor()
+        service.close()
+
+
+# ---------------------------------------------------------------------------
+# Zero-applied batches stay visible to the latency tail (regression)
+# ---------------------------------------------------------------------------
+class TestZeroAppliedBatchLatency:
+    def test_zero_weight_events_are_recorded(self, tmp_path):
+        ticks = iter(range(10**6))
+        store = DurableStore(
+            tmp_path / "s", algorithm="classical", shard_capacity=32,
+            sync_policy="never",
+        )
+        service = StoreService(
+            store, track_latency=True, clock=lambda: float(next(ticks))
+        )
+        service.put(1, "one")
+        assert service.put_many([]) == 0
+        assert service.delete_many([]) == 0
+
+        stats = service.latency_statistics()
+        # One applied operation, but THREE events: the no-op batches held
+        # the locks and took wall-clock time — p999 must see them.
+        assert stats["operations"] == 1.0
+        assert stats["events"] == 3.0
+        assert "latency_event_p999" in stats
+        assert stats["latency_event_p999"] >= 1.0
+        tracker = service.mutation_costs
+        assert tracker.events == 3
+        assert tracker.operations == 1
+        # Per-operation views are untouched by weight-0 events.
+        assert tracker.percentile(0.999) == tracker.costs[0]
+        assert tracker.tail_fraction(0) == 1.0
+        service.close()
+
+    def test_only_zero_weight_events_still_summarize(self, tmp_path):
+        """A run of nothing but no-op batches must not report empty stats."""
+        ticks = iter(range(10**6))
+        store = DurableStore(tmp_path / "s", sync_policy="never")
+        service = StoreService(
+            store, track_latency=True, clock=lambda: float(next(ticks))
+        )
+        service.delete_many([])
+        stats = service.latency_statistics()
+        assert stats != {}
+        assert stats["operations"] == 0.0
+        assert stats["events"] == 1.0
+        assert stats["latency_event_p999"] == pytest.approx(1.0)
+        service.close()
+
+    def test_cost_tracker_zero_weight_unit(self):
+        from repro.core.cost import CostTracker
+
+        tracker = CostTracker()
+        tracker.record(4, latency=0.5)
+        tracker.record_batch(0, 0, latency=9.0)   # the no-op stall
+        assert tracker.events == 2
+        assert tracker.operations == 1
+        assert tracker.percentile(0.999) == 4.0       # unpolluted
+        assert tracker.latency_percentile(0.999) == 0.5
+        assert tracker.event_latency_percentile(0.999) == 9.0
+        assert tracker.max_latency == 9.0
+
+
+# ---------------------------------------------------------------------------
+# RWLock fences: writer preference, no lost wakeups (satellite 4)
+# ---------------------------------------------------------------------------
+class TestRWLockDirect:
+    def test_waiting_writer_blocks_new_readers(self):
+        from repro.store.service import RWLock
+
+        lock = RWLock()
+        lock.acquire_read()                   # an in-flight reader
+
+        writer_has_lock = threading.Event()
+        writer_released = threading.Event()
+
+        def writer() -> None:
+            lock.acquire_write()
+            writer_has_lock.set()
+            writer_released.wait(timeout=30)
+            lock.release_write()
+
+        writer_thread = threading.Thread(target=writer)
+        writer_thread.start()
+        # Give the writer time to register as waiting.
+        deadline = 200
+        while lock._writers_waiting == 0 and deadline > 0:
+            threading.Event().wait(0.005)
+            deadline -= 1
+        assert lock._writers_waiting == 1
+
+        late_reader_acquired = threading.Event()
+
+        def late_reader() -> None:
+            lock.acquire_read()
+            late_reader_acquired.set()
+            lock.release_read()
+
+        reader_thread = threading.Thread(target=late_reader)
+        reader_thread.start()
+        # Writer preference: the late reader must NOT get in while a
+        # writer is waiting, even though a reader currently holds the lock.
+        assert not late_reader_acquired.wait(timeout=0.2)
+
+        lock.release_read()                   # writer's turn now
+        assert writer_has_lock.wait(timeout=30)
+        assert not late_reader_acquired.is_set()
+        writer_released.set()                 # then the late reader
+        assert late_reader_acquired.wait(timeout=30)
+        writer_thread.join(timeout=30)
+        reader_thread.join(timeout=30)
+
+    def test_no_lost_wakeups_under_reader_churn(self):
+        """Writers keep making progress while readers churn: every writer
+        acquisition completes — no writer is ever stranded waiting on a
+        wakeup that never comes."""
+        from repro.store.service import RWLock
+
+        lock = RWLock()
+        stop = threading.Event()
+        errors: list[BaseException] = []
+        writer_rounds = 60
+        writers_done = []
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    lock.acquire_read()
+                    lock.release_read()
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        shared = [0]
+
+        def writer() -> None:
+            try:
+                for _ in range(writer_rounds):
+                    lock.acquire_write()
+                    value = shared[0]
+                    shared[0] = value + 1     # exclusive: no torn updates
+                    lock.release_write()
+                writers_done.append(True)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        reader_threads = [threading.Thread(target=reader) for _ in range(6)]
+        writer_threads = [threading.Thread(target=writer) for _ in range(3)]
+        for thread in reader_threads + writer_threads:
+            thread.start()
+        for thread in writer_threads:
+            thread.join(timeout=60)
+        stop.set()
+        for thread in reader_threads:
+            thread.join(timeout=60)
+        assert not errors, errors[0]
+        assert len(writers_done) == 3         # nobody stranded
+        assert shared[0] == 3 * writer_rounds  # exclusivity held
+
+
+# ---------------------------------------------------------------------------
+# Paginated scans: writer lands exactly at the cursor key (satellite 4)
+# ---------------------------------------------------------------------------
+class TestScanPagesCursor:
+    def test_writer_inserting_at_the_cursor_between_pages(self, tmp_path):
+        """The documented cursor contract under the nastiest interleaving:
+        between two pages a writer (a) overwrites the cursor key itself and
+        (b) inserts a brand-new key immediately after the cursor.  The
+        scan must not re-yield the cursor key, must see the new key, and
+        must never duplicate or unsort."""
+        store = DurableStore(
+            tmp_path / "s", algorithm="classical", shard_capacity=32,
+            sync_policy="never",
+        )
+        service = StoreService(store)
+        evens = list(range(0, 20, 2))
+        service.put_many([(key, f"old-{key}") for key in evens])
+
+        pages = service.scan_pages(page_size=5)
+        first = next(pages)
+        assert [key for key, _ in first] == evens[:5]
+        cursor = first[-1][0]                 # key 8
+
+        # The interleaved writer: overwrite the cursor key, insert the
+        # key right behind it, and one far behind the scan front.
+        service.put(cursor, "overwritten-at-cursor")
+        service.put(cursor + 1, "inserted-at-cursor")     # key 9
+        service.put(1, "inserted-behind-the-scan")        # skipped by contract
+
+        rest = [pair for page in pages for pair in page]
+        keys = [key for key, _ in rest]
+        assert keys == [9] + evens[5:]        # 9 seen, 8 not re-yielded
+        assert dict(rest)[9] == "inserted-at-cursor"
+        all_keys = [key for key, _ in first] + keys
+        assert len(all_keys) == len(set(all_keys))        # no duplicates
+        assert all_keys == sorted(all_keys)               # ordered overall
+        service.close()
