@@ -1,0 +1,91 @@
+"""E-PARALLEL — pooled per-shard dispatch vs the serial execution paths.
+
+Two claims about the parallel shard execution this PR adds:
+
+* **Batched pool dispatch beats the singleton loop** — a zipfian ingest
+  through ``insert_batch`` with an 8-worker shard pool sustains ≥2× the
+  ops/s of the one-``insert``-per-op serial loop, while producing a
+  *bit-identical* structure and move log to the one-worker batched run
+  (hard assert, size-independent).
+* **Wide scans fan out** — ``range_ranks`` / ``count_ranges`` with a pool
+  attached answer a fixed window set faster than draining the
+  single-threaded cross-shard cursor, with identical results (hard
+  assert).
+
+The determinism asserts stay hard in quick mode; the wall-clock speedup
+claims are ``expect``-demoted there (tiny n cannot amortize dispatch).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import QUICK, emit, expect, scaled
+from repro.perf.scenarios import (
+    run_parallel_batch_ingest,
+    run_parallel_scan_fanout,
+)
+
+SEED = 20260730
+
+
+def test_parallel_batch_ingest_beats_singleton_loop(run_once):
+    n = scaled(16384)
+
+    def experiment():
+        return run_parallel_batch_ingest(n, SEED)
+
+    metrics = run_once(experiment)
+    # Bit-identical execution across worker counts is size-independent.
+    assert metrics["parallel_matches_serial"] is True
+    emit(
+        f"E-PARALLEL batched zipfian ingest, n={n}",
+        [
+            {
+                "path": "singleton loop",
+                "ops_per_second": round(metrics["singleton_ops_per_second"]),
+            },
+            {
+                "path": "batched, 1 worker",
+                "ops_per_second": round(metrics["serial_ops_per_second"]),
+            },
+            {
+                "path": f"batched, pool (batch={metrics['batch_size']})",
+                "ops_per_second": round(metrics["parallel_ops_per_second"]),
+            },
+        ],
+        note=f"speedup over singleton: {metrics['speedup']:.2f}x",
+    )
+    expect(
+        metrics["speedup"] >= 2.0,
+        f"pooled batch ingest speedup {metrics['speedup']:.2f}x < 2x",
+    )
+
+
+def test_parallel_scan_fanout_beats_cursor_drain(run_once):
+    n = scaled(65536)
+
+    def experiment():
+        return run_parallel_scan_fanout(n, SEED)
+
+    metrics = run_once(experiment)
+    assert metrics["parallel_matches_serial"] is True
+    assert metrics["reads_match"] is True
+    emit(
+        f"E-PARALLEL wide scans, n={n}",
+        [
+            {
+                "path": "cursor drain",
+                "elements_per_second": round(metrics["serial_ops_per_second"]),
+            },
+            {
+                "path": "range_ranks + count_ranges, pool",
+                "elements_per_second": round(
+                    metrics["parallel_ops_per_second"]
+                ),
+            },
+        ],
+        note=f"speedup over cursor drain: {metrics['speedup']:.2f}x",
+    )
+    expect(
+        metrics["speedup"] >= 1.2,
+        f"pooled scan speedup {metrics['speedup']:.2f}x < 1.2x",
+    )

@@ -112,7 +112,9 @@ class RunResult:
             # would misattribute prior runs' work on a reused structure.
             # Only the state-shaped keys come from the labeler.
             stats = shard_statistics()
-            for key in ("splits", "merges", "restructure_moves"):
+            for key in (
+                "splits", "merges", "borrows", "rewrites", "restructure_moves"
+            ):
                 stats.pop(key, None)
             data.update(stats)
         if self.tracker.restructures:
@@ -163,6 +165,8 @@ def run_workload(
     durable_dir=None,
     durable_sync: str = "batch",
     clock: Callable[[], float] | None = None,
+    parallel=None,
+    max_workers: int | None = None,
 ) -> RunResult:
     """Run ``workload`` against ``labeler`` and record the move costs.
 
@@ -177,9 +181,21 @@ def run_workload(
     sets the log's fsync policy (``"always"``/``"batch"``/``"never"``).
     ``clock`` overrides the per-operation latency clock (deterministic
     fakes in tests); the default is :func:`time.perf_counter`.
+    ``parallel`` / ``max_workers`` attach a
+    :class:`~repro.core.parallel.ShardPool` to the labeler for the
+    duration of the run (detached — and closed, when owned — afterwards),
+    so batched execution against a sharded structure fans its per-shard
+    sub-batches out across workers; labelers without a ``set_parallel``
+    hook run serially as before.
     """
+    from repro.core.parallel import resolve_pool
+
     if clock is None:
         clock = time.perf_counter
+    pool, owns_pool = resolve_pool(parallel, max_workers)
+    attach = getattr(labeler, "set_parallel", None)
+    if pool is not None and attach is not None:
+        attach(pool)
     tracker = CostTracker()
     reference = ChunkedList(
         block_size=max(8, math.isqrt(max(1, workload.operations)))
@@ -214,6 +230,11 @@ def run_workload(
     finally:
         if journal is not None:
             journal.close()
+        if pool is not None:
+            if attach is not None:
+                attach(None)
+            if owns_pool:
+                pool.close()
 
     elapsed = time.perf_counter() - started
     if restructure_log is not None:

@@ -40,6 +40,7 @@ from repro.core.layered import (
     make_corollary12_labeler,
 )
 from repro.core.interleaved import InterleavedComposition
+from repro.core.parallel import ShardPool
 from repro.core.sharded import ShardedLabeler
 
 __all__ = [
@@ -68,6 +69,7 @@ __all__ = [
     "PhysicalArray",
     "RankError",
     "ReferencePhysicalArray",
+    "ShardPool",
     "ShardedLabeler",
     "WindowStatistics",
     "make_corollary11_labeler",

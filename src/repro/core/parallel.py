@@ -1,0 +1,138 @@
+"""Bounded thread-pool execution for independent per-shard work.
+
+:class:`ShardPool` is the one executor the parallel paths share: the
+sharded engine fans independent per-shard sub-batches and fully-covered
+scan segments out through :meth:`ShardPool.run`, and the store/runner
+layers inject a pool (or a ``max_workers`` count) from above.
+
+Design constraints, in order:
+
+* **Determinism.**  ``run`` returns results in task order, always — the
+  caller's merge step sees the same sequence whether tasks ran inline,
+  on one worker, or on eight.  Parallelism may reorder *execution*, never
+  *results*.
+* **Safety.**  Tasks handed to ``run`` must be independent: the sharded
+  engine only dispatches closures that touch distinct shard objects, and
+  keeps every piece of shared state (the Fenwick directory, the
+  element→shard reverse index, restructures) on the calling thread.
+* **Graceful degradation.**  A pool with ``max_workers <= 1``, a single
+  task, or a closed pool executes inline on the calling thread with zero
+  thread overhead — ``max_workers=1`` is the serial path, not a slower
+  pool.
+
+The worker threads are started lazily on the first parallel ``run`` and
+torn down by :meth:`close` (or the context manager), so constructing a
+pool is free and an all-serial run never spawns a thread.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Cap for ``max_workers=None`` ("use the machine"): one worker per CPU,
+#: bounded so a big host does not spawn hundreds of threads for a
+#: structure with a handful of shards.
+DEFAULT_WORKER_CAP = 8
+
+
+def default_workers() -> int:
+    """Worker count for ``max_workers=None``: ``min(cpus, cap)``."""
+    return max(1, min(os.cpu_count() or 1, DEFAULT_WORKER_CAP))
+
+
+class ShardPool:
+    """A bounded, lazily-started thread pool with ordered results.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker thread count.  ``None`` picks :func:`default_workers`;
+        ``1`` (or less) makes every :meth:`run` execute inline, which is
+        the reference serial path the differential tests compare against.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is None:
+            max_workers = default_workers()
+        self._max_workers = max(1, int(max_workers))
+        self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    @property
+    def is_serial(self) -> bool:
+        """True when :meth:`run` always executes inline."""
+        return self._max_workers <= 1 or self._closed
+
+    def run(self, tasks: Sequence[Callable[[], T]]) -> list[T]:
+        """Execute ``tasks`` and return their results in task order.
+
+        Tasks must be independent (no two touch the same mutable state);
+        the first raised exception propagates after every submitted task
+        has finished, so the caller never observes a half-running pool.
+        """
+        if self.is_serial or len(tasks) < 2:
+            return [task() for task in tasks]
+        executor = self._ensure_executor()
+        futures: list[Future] = [executor.submit(task) for task in tasks]
+        results: list[T] = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return results
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-shard",
+            )
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the workers down; further :meth:`run` calls go inline."""
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "closed" if self._closed else "open"
+        return f"ShardPool(max_workers={self._max_workers}, {state})"
+
+
+def resolve_pool(
+    parallel: "ShardPool | None", max_workers: int | None
+) -> tuple["ShardPool | None", bool]:
+    """Resolve the ``parallel=`` / ``max_workers=`` knob pair.
+
+    Returns ``(pool, owned)``: an injected pool is shared (not owned, the
+    caller must not close it); a bare ``max_workers`` builds a fresh owned
+    pool; neither knob means no pool (the pure serial path).
+    """
+    if parallel is not None and max_workers is not None:
+        raise ValueError("pass either parallel= or max_workers=, not both")
+    if parallel is not None:
+        return parallel, False
+    if max_workers is not None and max_workers > 1:
+        return ShardPool(max_workers), True
+    return None, False

@@ -39,6 +39,16 @@ own merged rebalance; a sub-batch that would overflow its shard is instead
 interleaved with the shard's contents and rewritten into evenly-loaded
 fresh shards in one pass.
 
+**Parallel execution.**  The non-overflowing per-shard sub-batches touch
+disjoint shard objects, so with a :class:`repro.core.parallel.ShardPool`
+attached (the ``parallel=`` / ``max_workers=`` knobs) they fan out across
+worker threads; every piece of shared state — the Fenwick directory, the
+element→shard reverse index, and split/merge/rewrite restructures — stays
+on the calling thread, and the lifted results merge back in descending
+pre-batch shard order, bit-identical to the serial path.  Wide reads
+(:meth:`ShardedLabeler.range_ranks`, :meth:`ShardedLabeler.count_ranges`)
+fan their fully-covered shards out the same way.
+
 The cost model stays the paper's: every physical element move — including
 the rewrites performed by splits and merges — is reported through the
 returned :class:`~repro.core.operations.OperationResult` moves, and the
@@ -53,10 +63,13 @@ import bisect
 import math
 from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
+from itertools import islice
+
 from repro.core.exceptions import BatchError, LabelerError
 from repro.core.fenwick import FenwickTree
 from repro.core.interface import ListLabeler
-from repro.core.operations import Move, Operation, OperationResult
+from repro.core.operations import BatchResult, Move, Operation, OperationResult
+from repro.core.parallel import ShardPool, resolve_pool
 
 #: Factory signature of the shard building blocks: ``factory(capacity)``.
 ShardFactory = Callable[[int], ListLabeler]
@@ -80,6 +93,13 @@ class ShardedLabeler(ListLabeler):
         is merged with a neighbour.  Must leave ``merge`` strictly below
         half the split threshold so a merge never immediately re-splits
         back below the floor.
+    parallel:
+        An injected (shared) :class:`~repro.core.parallel.ShardPool` for
+        per-shard fan-out; the caller owns its lifetime.  Mutually
+        exclusive with ``max_workers``.
+    max_workers:
+        Build an owned pool with this many workers (``<= 1`` means the
+        pure serial path; :meth:`close_parallel` tears it down).
     """
 
     def __init__(
@@ -89,6 +109,8 @@ class ShardedLabeler(ListLabeler):
         shard_capacity: int = 64,
         split_density: float = 0.75,
         merge_density: float = 0.15,
+        parallel: ShardPool | None = None,
+        max_workers: int | None = None,
     ) -> None:
         if shard_capacity < 8:
             raise ValueError("shard_capacity must be at least 8")
@@ -123,11 +145,18 @@ class ShardedLabeler(ListLabeler):
         #: there).
         self._elem_shard: dict[Hashable, ListLabeler] = {}
         self._rebuild_directory()
+        self._pool, self._owns_pool = resolve_pool(parallel, max_workers)
 
         #: Structural-change counters and per-event move log
-        #: (``(kind, moved)`` pairs, ``kind`` in {"split", "merge"}).
+        #: (``(kind, moved)`` pairs, ``kind`` in {"split", "merge",
+        #: "borrow", "rewrite"}): a *split* halves one overfull shard, a
+        #: *merge* combines an underfull pair, a *borrow* re-splits a pair
+        #: whose union would overflow (nothing is merged), and a *rewrite*
+        #: absorbs an overflowing sub-batch into evenly-loaded fresh shards.
         self.splits = 0
         self.merges = 0
+        self.borrows = 0
+        self.rewrites = 0
         self.restructure_moves = 0
         self.restructure_log: list[tuple[str, int]] = []
 
@@ -151,6 +180,25 @@ class ShardedLabeler(ListLabeler):
         return len(self._shards)
 
     @property
+    def pool(self) -> ShardPool | None:
+        """The attached shard pool, if any (``None`` = pure serial path)."""
+        return self._pool
+
+    def set_parallel(self, pool: ShardPool | None) -> None:
+        """Attach (or detach) a shared pool; an owned pool is closed first."""
+        if self._owns_pool and self._pool is not None and pool is not self._pool:
+            self._pool.close()
+        self._pool = pool
+        self._owns_pool = False
+
+    def close_parallel(self) -> None:
+        """Detach the pool, shutting it down when this engine owns it."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+        self._pool = None
+        self._owns_pool = False
+
+    @property
     def shards(self) -> Sequence[ListLabeler]:
         """Read-only view of the shard list (rank order)."""
         return tuple(self._shards)
@@ -165,6 +213,8 @@ class ShardedLabeler(ListLabeler):
             "shards": float(len(sizes)),
             "splits": float(self.splits),
             "merges": float(self.merges),
+            "borrows": float(self.borrows),
+            "rewrites": float(self.rewrites),
             "restructure_moves": float(self.restructure_moves),
             "max_shard_size": float(max(sizes, default=0)),
             "min_shard_size": float(min(sizes, default=0)),
@@ -240,6 +290,11 @@ class ShardedLabeler(ListLabeler):
             shard = self._shard_factory(self._shard_capacity)
             shard.bulk_load(chunk)
             replacements.append(shard)
+        if not replacements and hi - lo >= len(self._shards):
+            # Rewriting the whole structure away: the canonical empty
+            # state is one fresh shard (the constructor's), never zero
+            # shards — every rank-routing path assumes at least one.
+            replacements = [self._shard_factory(self._shard_capacity)]
         self._shards[lo:hi] = replacements
         self._rebuild_directory()
         moves: list[Move] = []
@@ -252,18 +307,35 @@ class ShardedLabeler(ListLabeler):
                 elem_shard[element] = shard
         return moves
 
+    #: Restructure kind → counter attribute.  Distinct kinds because they
+    #: answer different tuning questions: splits/merges track the density
+    #: policy, borrows flag a floor/ceiling gap too narrow to merge into,
+    #: and rewrites are batch-absorption traffic, not organic growth.
+    _RESTRUCTURE_COUNTERS = {
+        "split": "splits",
+        "merge": "merges",
+        "borrow": "borrows",
+        "rewrite": "rewrites",
+    }
+
     def _record_restructure(self, kind: str, moves: Sequence[Move]) -> None:
         moved = sum(1 for move in moves if move.cost > 0)
         self.restructure_log.append((kind, moved))
         self.restructure_moves += moved
-        if kind == "split":
-            self.splits += 1
-        else:
-            self.merges += 1
+        counter = self._RESTRUCTURE_COUNTERS[kind]
+        setattr(self, counter, getattr(self, counter) + 1)
 
     def _even_chunks(self, contents: Sequence[Hashable]) -> list[list[Hashable]]:
-        """Partition ``contents`` into evenly-loaded shard-sized chunks."""
+        """Partition ``contents`` into evenly-loaded shard-sized chunks.
+
+        Empty contents partition into *no* chunks: a drained region is
+        spliced out of the shard list, never rebuilt as an empty shard
+        (which would sit below the merge floor and corrupt the density
+        invariant the moment it survived a rebalance).
+        """
         total = len(contents)
+        if total == 0:
+            return []
         count = max(1, math.ceil(total / self._fill_target))
         base, extra = divmod(total, count)
         chunks: list[list[Hashable]] = []
@@ -300,12 +372,19 @@ class ShardedLabeler(ListLabeler):
             lo, hi = index, index + 2
         combined = self._shards[lo].elements() + self._shards[lo + 1].elements()
         if len(combined) > self._split_threshold:
+            # Borrow: the union would overflow, so the pair is re-split
+            # evenly instead — nothing is merged, and the event is
+            # recorded under its own kind.
             half = len(combined) // 2
-            chunks = [combined[:half], combined[half:]]
+            chunks: list[list[Hashable]] = [combined[:half], combined[half:]]
+            kind = "borrow"
         else:
-            chunks = [combined]
+            # A fully drained pair contributes no chunks and is spliced
+            # out (see _even_chunks) instead of rebuilt as an empty shard.
+            chunks = [combined] if combined else []
+            kind = "merge"
         moves = self._rewrite_region(lo, hi, chunks)
-        self._record_restructure("merge", moves)
+        self._record_restructure(kind, moves)
         return moves
 
     def _rebalance_underflows(self) -> list[Move]:
@@ -387,24 +466,51 @@ class ShardedLabeler(ListLabeler):
         for rank, element in prepared:
             index, local = self._locate_insert(rank)
             groups.setdefault(index, []).append((local, element))
-        results: list[OperationResult] = []
         # Descending shard order: a rewrite replaces one shard by several,
-        # which would shift the indices of every group after it.
-        for index in sorted(groups, reverse=True):
-            sub = groups[index]
-            shard = self._shards[index]
-            if len(shard) + len(sub) > self._split_threshold:
-                results.append(self._absorb_overflowing_batch(index, sub))
+        # which would shift the indices of every group after it.  The
+        # serial schedule runs group i before any restructure at a lower
+        # index, and a restructure at a higher index never moves shard i
+        # or its slot offset — so running every overflow restructure first
+        # (still descending) and then the independent non-overflowing
+        # groups sees exactly the serial path's state: pre-batch shard
+        # objects and pre-batch offsets.  That reordering is what lets the
+        # plain groups fan out across the pool.
+        order = sorted(groups, reverse=True)
+        shard_at = {index: self._shards[index] for index in order}
+        offsets = self._slot_offsets  # replaced, never mutated, on rebuild
+        restructured: dict[int, OperationResult] = {}
+        plain: list[int] = []
+        for index in order:
+            if len(shard_at[index]) + len(groups[index]) > self._split_threshold:
+                restructured[index] = self._absorb_overflowing_batch(
+                    index, groups[index]
+                )
             else:
-                inner = shard.insert_batch(sub)
-                for _, element in sub:
-                    self._elem_shard[element] = shard
-                self._directory.add(index, len(sub))
-                offset = self._slot_offset(index)
-                for item in inner.results:
-                    lifted = OperationResult(item.operation)
-                    lifted.extend(self._lift_moves(item.moves, offset))
-                    results.append(lifted)
+                plain.append(index)
+        tasks = [
+            (lambda shard=shard_at[i], sub=groups[i]: shard.insert_batch(sub))
+            for i in plain
+        ]
+        inners = self._pool.run(tasks) if self._pool else [task() for task in tasks]
+        results: list[OperationResult] = []
+        inner_at = dict(zip(plain, inners))
+        for index in order:
+            if index in restructured:
+                results.append(restructured[index])
+                continue
+            sub = groups[index]
+            shard = shard_at[index]
+            for _, element in sub:
+                self._elem_shard[element] = shard
+            # The restructures above may have shifted this shard's index;
+            # the directory update targets its *current* position, while
+            # moves lift with the pre-batch offset the serial path saw.
+            self._directory.add(self._shard_pos[id(shard)], len(sub))
+            offset = offsets[index]
+            for item in inner_at[index].results:
+                lifted = OperationResult(item.operation)
+                lifted.extend(self._lift_moves(item.moves, offset))
+                results.append(lifted)
         self._size += len(prepared)
         return results
 
@@ -433,7 +539,7 @@ class ShardedLabeler(ListLabeler):
         moves = self._rewrite_region(
             index, index + 1, self._even_chunks(contents), fresh=fresh
         )
-        self._record_restructure("split", moves)
+        self._record_restructure("rewrite", moves)
         result.extend(moves)
         return result
 
@@ -442,12 +548,28 @@ class ShardedLabeler(ListLabeler):
         for rank in prepared:  # descending, so per-shard locals stay sorted
             index, local = self._locate(rank)
             groups.setdefault(index, []).append(local)
+        # Per-shard drains touch disjoint shard objects and no delete
+        # restructures mid-batch (underflows rebalance once at the end),
+        # so every group fans out; each task reads its victims before
+        # mutating, and the shared bookkeeping (reverse index, directory)
+        # replays on this thread in descending shard order.
+        order = sorted(groups, reverse=True)
+
+        def drain(
+            shard: ListLabeler, locals_: Sequence[int]
+        ) -> tuple[list[Hashable], BatchResult]:
+            victims = [shard.select(local) for local in locals_]
+            return victims, shard.delete_batch(locals_)
+
+        tasks = [
+            (lambda shard=self._shards[i], sub=groups[i]: drain(shard, sub))
+            for i in order
+        ]
+        drained = self._pool.run(tasks) if self._pool else [task() for task in tasks]
         results: list[OperationResult] = []
-        for index in sorted(groups, reverse=True):
-            shard = self._shards[index]
-            for local in groups[index]:  # pre-batch locals: read before mutating
-                del self._elem_shard[shard.select(local)]
-            inner = shard.delete_batch(groups[index])
+        for index, (victims, inner) in zip(order, drained):
+            for element in victims:
+                del self._elem_shard[element]
             self._directory.add(index, -len(groups[index]))
             offset = self._slot_offset(index)
             for item in inner.results:
@@ -473,7 +595,9 @@ class ShardedLabeler(ListLabeler):
         replacements: list[ListLabeler] = []
         total = 0
         self._elem_shard = {}
-        for chunk in self._even_chunks(elements):
+        # _even_chunks([]) is no chunks; the canonical empty structure is
+        # still one fresh shard.
+        for chunk in self._even_chunks(elements) or [[]]:
             shard = self._shard_factory(self._shard_capacity)
             total += shard.bulk_load(chunk)
             for element in chunk:
@@ -504,6 +628,8 @@ class ShardedLabeler(ListLabeler):
             "counters": {
                 "splits": self.splits,
                 "merges": self.merges,
+                "borrows": self.borrows,
+                "rewrites": self.rewrites,
                 "restructure_moves": self.restructure_moves,
             },
         }
@@ -550,6 +676,8 @@ class ShardedLabeler(ListLabeler):
         counters = state.get("counters") or {}
         self.splits = counters.get("splits", 0)
         self.merges = counters.get("merges", 0)
+        self.borrows = counters.get("borrows", 0)
+        self.rewrites = counters.get("rewrites", 0)
         self.restructure_moves = counters.get("restructure_moves", 0)
         self.restructure_log = []
 
@@ -685,6 +813,90 @@ class ShardedLabeler(ListLabeler):
         total += self._directory.prefix(last) - self._directory.prefix(first + 1)
         total += self._shards[last].count_range(0, hi - offsets[last])
         return total
+
+    def range_ranks(self, lo: int, hi: int) -> list[Hashable]:
+        """Materialize the elements with ranks ``lo..hi`` (1-based, inclusive).
+
+        The cursor path (:meth:`iter_from`) streams shard by shard on one
+        thread; this is the batch-read analogue for wide scans: the two
+        boundary shards answer their partial segments inline, and every
+        fully covered shard in between materializes its contents as an
+        independent task — fanned across the shard pool when one is
+        attached — before assembly in shard order, so the result is
+        identical to draining the cursor.
+        """
+        lo = max(1, lo)
+        hi = min(self._size, hi)
+        if hi < lo:
+            return []
+        first, first_local = self._locate(lo)
+        last, last_local = self._locate(hi)
+        shards = self._shards
+        if first == last:
+            return list(islice(shards[first].iter_from(first_local), hi - lo + 1))
+        interior = shards[first + 1 : last]
+        tasks = [
+            (lambda segment=segment: [
+                element for shard in segment for element in shard.elements()
+            ])
+            for segment in self._worker_segments(interior)
+        ]
+        parts = self._pool.run(tasks) if self._pool else [task() for task in tasks]
+        out: list[Hashable] = list(shards[first].iter_from(first_local))
+        for part in parts:
+            out.extend(part)
+        out.extend(islice(shards[last].iter_from(1), last_local))
+        return out
+
+    def _worker_segments(
+        self, shards: Sequence[ListLabeler]
+    ) -> list[Sequence[ListLabeler]]:
+        """Split ``shards`` into one contiguous slice per pool worker.
+
+        One task per shard would drown in dispatch overhead (a scan can
+        cover hundreds of shards); one slice per worker keeps the fan-out
+        wide enough to fill the pool and the per-task work coarse.
+        """
+        if not shards:
+            return []
+        workers = self._pool.max_workers if self._pool else 1
+        count = min(len(shards), max(1, workers))
+        base, extra = divmod(len(shards), count)
+        segments: list[Sequence[ListLabeler]] = []
+        start = 0
+        for j in range(count):
+            size = base + (1 if j < extra else 0)
+            segments.append(shards[start : start + size])
+            start += size
+        return segments
+
+    def count_ranges(self, windows: Sequence[tuple[int, int]]) -> list[int]:
+        """Answer many :meth:`count_range` slot windows in one call.
+
+        Each window is an independent read of the directory and at most
+        two boundary shards, so the batch fans out across the shard pool
+        (when attached) — one contiguous slice of windows per worker —
+        and returns counts in window order.
+        """
+        if not self._pool or self._pool.is_serial or len(windows) < 2:
+            return [self.count_range(lo, hi) for lo, hi in windows]
+        workers = self._pool.max_workers
+        count = min(len(windows), workers)
+        base, extra = divmod(len(windows), count)
+        slices: list[Sequence[tuple[int, int]]] = []
+        start = 0
+        for j in range(count):
+            size = base + (1 if j < extra else 0)
+            slices.append(windows[start : start + size])
+            start += size
+        tasks = [
+            (lambda batch=batch: [self.count_range(lo, hi) for lo, hi in batch])
+            for batch in slices
+        ]
+        out: list[int] = []
+        for part in self._pool.run(tasks):
+            out.extend(part)
+        return out
 
     def slot_of_rank(self, rank: int) -> int:
         """Global slot of the ``rank``-th element (directory + shard index)."""

@@ -58,6 +58,7 @@ from pathlib import Path
 from repro.perf.scenarios import (
     CORE_SCENARIOS,
     LATENCY_SCENARIOS,
+    PARALLEL_SCENARIOS,
     QUERY_SCENARIOS,
     SERVER_SCENARIOS,
     SHARDED_SCENARIOS,
@@ -88,6 +89,7 @@ SUITES: dict[str, dict[str, ScenarioSpec]] = {
     "query": QUERY_SCENARIOS,
     "latency": LATENCY_SCENARIOS,
     "server": SERVER_SCENARIOS,
+    "parallel": PARALLEL_SCENARIOS,
 }
 
 #: Entries kept in a baseline file's ``trajectory`` history list.
@@ -109,6 +111,9 @@ WALL_CLOCK_METRICS = frozenset(
         "full_recovery_elapsed_seconds",
         "speedup",
         "ops_per_second",
+        "singleton_ops_per_second",
+        "serial_ops_per_second",
+        "parallel_ops_per_second",
     }
 )
 
@@ -128,6 +133,10 @@ _CORRECTNESS_FLAGS = {
     "replicas_match": (
         "replica state digest diverged from the primary (WAL shipping no "
         "longer reproduces byte-identical state)"
+    ),
+    "parallel_matches_serial": (
+        "pooled shard execution diverged from the serial path (state "
+        "digest or move log mismatch across worker counts)"
     ),
 }
 

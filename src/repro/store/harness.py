@@ -162,6 +162,73 @@ def state_digest(pmm: PackedMemoryMap) -> str:
     ).hexdigest()
 
 
+def record_move_log(labeler) -> list[tuple]:
+    """Instrument ``labeler`` to journal every mutation's move triples.
+
+    Wraps the four mutating entry points on the *instance* (the map layer
+    resolves them through attribute lookup) and appends one
+    ``(operation_kind, move_triples)`` entry per applied operation to the
+    returned list — the bit-level execution trace the parallel-vs-serial
+    determinism suite compares across worker counts.
+    """
+    from repro.core.operations import move_triples
+
+    log: list[tuple] = []
+    for name in ("insert", "delete", "insert_batch", "delete_batch"):
+        original = getattr(labeler, name)
+
+        def wrapped(*args, _original=original, **kwargs):
+            result = _original(*args, **kwargs)
+            for item in getattr(result, "results", [result]):
+                log.append((item.operation.kind, move_triples(item.moves)))
+            return result
+
+        setattr(labeler, name, wrapped)
+    return log
+
+
+def move_log_digest(log: list[tuple]) -> str:
+    """Stable hex digest of a :func:`record_move_log` trace."""
+    import hashlib
+
+    from repro.store import codec
+
+    return hashlib.sha256(codec.dumps(log).encode("utf-8")).hexdigest()
+
+
+def parallel_replay(
+    ops: list[tuple],
+    *,
+    algorithm: str = "classical",
+    shard_capacity: int = 64,
+    max_workers: int = 1,
+) -> tuple[str, str]:
+    """Replay an op script on a pool-attached map; digest state and moves.
+
+    Drives :func:`make_ops`-style operations through a fresh
+    :class:`ReferenceStore` whose sharded labeler executes per-shard
+    sub-batches on a ``max_workers``-wide shard pool (``1`` = the serial
+    reference path), and returns ``(state_digest, move_log_digest)`` —
+    equal digests across worker counts is the parallel determinism
+    contract.
+    """
+    from repro.core.parallel import ShardPool
+
+    reference = ReferenceStore(algorithm, shard_capacity)
+    log = record_move_log(reference.map.labeler)
+    pool = ShardPool(max_workers) if max_workers > 1 else None
+    if pool is not None:
+        reference.map.labeler.set_parallel(pool)
+    try:
+        for op in ops:
+            reference.apply(op)
+    finally:
+        if pool is not None:
+            reference.map.labeler.set_parallel(None)
+            pool.close()
+    return state_digest(reference.map), move_log_digest(log)
+
+
 def crash_copy(
     source: Path,
     destination: Path,

@@ -8,11 +8,13 @@ many threads with a two-level locking protocol:
   merge shards, which moves global state), range scans and full
   iterations hold it shared, so any number of scans overlap each other
   and never observe a half-applied mutation;
-* **striped per-shard read-write locks** for point reads — a ``get`` only
-  takes its key's stripe in shared mode, so point reads on different
-  stripes never contend with each other, and a writer (which takes its
-  key's stripe exclusively *in addition to* the structure lock) only
-  blocks the readers of the stripe it is mutating.  The stripe count
+* **striped per-shard read-write locks** for point reads — a ``get``
+  takes the structure lock shared (a point read walks the labeler's
+  directory and shard layout, which a concurrent split/merge rewrites in
+  place) *plus* its key's stripe in shared mode, so point reads on
+  different stripes never contend with each other, and a writer (which
+  takes its key's stripe exclusively *in addition to* the structure lock)
+  only blocks the readers of the stripe it is mutating.  The stripe count
   defaults to the labeler's shard count at construction; hashing keys to
   stripes approximates per-shard ownership without pinning stripes to
   shard boundaries that splits would move.
@@ -55,6 +57,7 @@ import time
 from typing import Callable, Hashable, Iterable, Sequence
 
 from repro.core.cost import CostTracker
+from repro.core.parallel import ShardPool, resolve_pool
 from repro.store.store import DurableStore
 
 
@@ -131,12 +134,24 @@ class StoreService:
         stripes: int | None = None,
         track_latency: bool = False,
         clock: Callable[[], float] | None = None,
+        parallel: ShardPool | None = None,
+        max_workers: int | None = None,
     ) -> None:
         self._store = store
         if stripes is None:
             stripes = max(8, getattr(store.labeler, "shard_count", 8))
         self._stripes = [RWLock() for _ in range(max(1, stripes))]
         self._structure = RWLock()
+        # Per-shard fan-out for batch mutations: the pool attaches to the
+        # underlying sharded labeler, so put_many/delete_many dispatch
+        # their independent per-shard sub-batches across workers while
+        # this service's structure lock (held exclusively for the whole
+        # batch) keeps the usual one-writer-at-a-time contract.
+        self._pool, self._owns_pool = resolve_pool(parallel, max_workers)
+        if self._pool is not None:
+            attach = getattr(store.labeler, "set_parallel", None)
+            if attach is not None:
+                attach(self._pool)
         self._compactor: threading.Thread | None = None
         self._compactor_stop = threading.Event()
         self._compactor_error: BaseException | None = None
@@ -153,19 +168,31 @@ class StoreService:
     def stripe_count(self) -> int:
         return len(self._stripes)
 
+    @property
+    def pool(self) -> ShardPool | None:
+        """The shard pool batch mutations dispatch through, if any."""
+        return self._pool
+
     def _stripe(self, key: Hashable) -> RWLock:
         return self._stripes[hash(key) % len(self._stripes)]
 
     # ------------------------------------------------------------------
-    # Point reads: stripe shared lock only
+    # Point reads: structure shared + stripe shared
     # ------------------------------------------------------------------
+    # The structure lock is NOT optional here: a point read routes
+    # through the labeler's rank directory and shard layout, and a writer
+    # holding only *another* key's stripe can be mid split/merge — the
+    # stripe alone cannot see that.  Shared-mode holds still overlap
+    # freely, so reads never serialize against each other.
     def get(self, key, default=None):
-        with self._stripe(key).read():
-            return self._store.get(key, default)
+        with self._structure.read():
+            with self._stripe(key).read():
+                return self._store.get(key, default)
 
     def contains(self, key) -> bool:
-        with self._stripe(key).read():
-            return key in self._store
+        with self._structure.read():
+            with self._stripe(key).read():
+                return key in self._store
 
     # ------------------------------------------------------------------
     # Mutations: structure exclusive + key stripe(s) exclusive
@@ -488,3 +515,10 @@ class StoreService:
         self.stop_compactor()
         with self._structure.write():
             self._store.close()
+        if self._pool is not None:
+            detach = getattr(self._store.labeler, "set_parallel", None)
+            if detach is not None:
+                detach(None)
+            if self._owns_pool:
+                self._pool.close()
+            self._pool = None

@@ -260,5 +260,7 @@ def test_sharded_over_every_algorithm_batched(name):
         labeler, seed=13, total_ops=10_000, check_every=1_000
     )
     _check(labeler, reference.to_list())
-    assert labeler.splits >= 3
-    assert labeler.merges >= 1
+    # Batched growth restructures are overflow absorptions (rewrites),
+    # not singleton splits; the shrink phase may merge or borrow.
+    assert labeler.rewrites >= 3, "the run must cross several batch rewrites"
+    assert labeler.merges + labeler.borrows >= 1

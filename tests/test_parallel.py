@@ -1,0 +1,265 @@
+"""Parallel shard execution: pool mechanics and serial-vs-pooled identity.
+
+The determinism contract under test: with the same seed, a pooled run
+must be *bit-identical* to the serial run — same elements, same labels,
+same per-shard physical layout, and the same move log, operation by
+operation.  Parallelism may reorder execution, never results.
+
+The worker count for the pooled side honours ``REPRO_PARALLEL_WORKERS``
+(default 8) so the CI matrix can sweep {1, 2, 8} over one test body.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from itertools import islice
+
+import pytest
+
+from repro.algorithms import ClassicalPMA
+from repro.analysis import run_workload
+from repro.core import ShardedLabeler
+from repro.core.parallel import ShardPool, default_workers, resolve_pool
+from repro.store.harness import (
+    make_ops,
+    move_log_digest,
+    parallel_replay,
+    record_move_log,
+)
+from repro.workloads import ZipfianWorkload
+
+WORKERS = int(os.environ.get("REPRO_PARALLEL_WORKERS", "8"))
+
+
+def classical_factory(capacity):
+    return ClassicalPMA(capacity)
+
+
+def make(shard_capacity=16, **kwargs):
+    return ShardedLabeler(classical_factory, shard_capacity=shard_capacity, **kwargs)
+
+
+class TestShardPool:
+    def test_results_come_back_in_task_order(self):
+        release = threading.Event()
+
+        def slow():
+            release.wait(timeout=5)
+            return "slow"
+
+        tasks = [slow] + [lambda i=i: i for i in range(10)]
+        with ShardPool(4) as pool:
+            timer = threading.Timer(0.05, release.set)
+            timer.start()
+            try:
+                results = pool.run(tasks)
+            finally:
+                timer.cancel()
+        assert results == ["slow"] + list(range(10))
+
+    def test_serial_pool_runs_inline_without_threads(self):
+        pool = ShardPool(1)
+        assert pool.is_serial
+        names = set()
+        pool.run([lambda: names.add(threading.current_thread().name)] * 4)
+        assert names == {threading.current_thread().name}
+        assert pool._executor is None  # never started a worker
+
+    def test_single_task_runs_inline_even_on_a_wide_pool(self):
+        with ShardPool(8) as pool:
+            thread_name = pool.run([lambda: threading.current_thread().name])
+        assert thread_name == [threading.current_thread().name]
+
+    def test_exceptions_propagate_after_all_tasks_finish(self):
+        finished = []
+
+        def boom():
+            raise RuntimeError("task failed")
+
+        with ShardPool(2) as pool:
+            with pytest.raises(RuntimeError, match="task failed"):
+                pool.run([boom, lambda: finished.append(1), boom])
+        assert finished == [1]  # later tasks still ran to completion
+
+    def test_closed_pool_degrades_to_inline(self):
+        pool = ShardPool(4)
+        assert pool.run([lambda: 1, lambda: 2]) == [1, 2]
+        pool.close()
+        assert pool.is_serial
+        assert pool.run([lambda: 3, lambda: 4]) == [3, 4]
+
+    def test_default_workers_is_bounded(self):
+        assert 1 <= default_workers() <= 8
+        assert ShardPool(None).max_workers == default_workers()
+
+    def test_resolve_pool_rejects_both_knobs(self):
+        with pytest.raises(ValueError):
+            resolve_pool(ShardPool(2), 2)
+
+    def test_resolve_pool_ownership(self):
+        assert resolve_pool(None, None) == (None, False)
+        assert resolve_pool(None, 1) == (None, False)
+        shared = ShardPool(2)
+        assert resolve_pool(shared, None) == (shared, False)
+        owned, is_owned = resolve_pool(None, 4)
+        assert is_owned and owned.max_workers == 4
+        owned.close()
+        shared.close()
+
+
+class TestLabelerPoolPlumbing:
+    def test_max_workers_knob_builds_an_owned_pool(self):
+        labeler = make(max_workers=4)
+        assert labeler.pool is not None
+        assert labeler.pool.max_workers == 4
+        labeler.close_parallel()
+        assert labeler.pool is None
+
+    def test_injected_pool_is_shared_not_closed(self):
+        pool = ShardPool(2)
+        labeler = make(parallel=pool)
+        assert labeler.pool is pool
+        labeler.set_parallel(None)
+        assert not pool.is_serial  # detaching must not close a shared pool
+        pool.close()
+
+    def test_set_parallel_closes_a_previously_owned_pool(self):
+        labeler = make(max_workers=4)
+        owned = labeler.pool
+        replacement = ShardPool(2)
+        labeler.set_parallel(replacement)
+        assert owned.is_serial  # the owned pool was closed on replacement
+        assert labeler.pool is replacement
+        replacement.close()
+
+    def test_both_knobs_rejected(self):
+        pool = ShardPool(2)
+        with pytest.raises(ValueError):
+            make(parallel=pool, max_workers=2)
+        pool.close()
+
+
+def _mixed_batches(steps, seed, *, max_batch=24):
+    """A seeded stream of valid insert/delete batches over a model list."""
+    rng = random.Random(seed)
+    model = 0  # only the size matters for rank validity
+    counter = 0
+    script = []
+    for _ in range(steps):
+        if model and rng.random() < 0.4:
+            count = min(model, rng.randint(1, max_batch))
+            ranks = sorted(rng.sample(range(1, model + 1), count))
+            script.append(("delete", ranks))
+            model -= count
+        else:
+            count = rng.randint(1, max_batch)
+            items = []
+            for _ in range(count):
+                # insert_batch takes pre-batch ranks: all validated (and
+                # applied, descending) against the size before the batch.
+                rank = rng.randint(1, model + 1)
+                counter += 1
+                items.append((rank, counter))
+            script.append(("insert", items))
+            model += count
+    return script
+
+
+def _replay(script, pool):
+    labeler = make(shard_capacity=16, parallel=pool)
+    log = record_move_log(labeler)
+    for kind, payload in script:
+        if kind == "insert":
+            labeler.insert_batch(payload)
+        else:
+            labeler.delete_batch(payload)
+    labeler.check_consistency()
+    return labeler, log
+
+
+class TestParallelMatchesSerial:
+    """Bit-identical execution across worker counts."""
+
+    def test_mixed_batches_are_bit_identical(self):
+        script = _mixed_batches(200, seed=7)
+        serial, serial_log = _replay(script, None)
+        with ShardPool(WORKERS) as pool:
+            pooled, pooled_log = _replay(script, pool)
+        assert pooled.elements() == serial.elements()
+        assert pooled.labels() == serial.labels()
+        assert [tuple(s.slots()) for s in pooled.shards] == [
+            tuple(s.slots()) for s in serial.shards
+        ]
+        assert pooled.restructure_log == serial.restructure_log
+        assert move_log_digest(pooled_log) == move_log_digest(serial_log)
+
+    def test_replay_digests_agree_across_worker_counts(self):
+        ops = make_ops(300, seed=11)
+        baseline = parallel_replay(ops, shard_capacity=16, max_workers=1)
+        for workers in (2, WORKERS):
+            assert (
+                parallel_replay(ops, shard_capacity=16, max_workers=workers)
+                == baseline
+            )
+
+    def test_run_workload_with_pool_matches_serial(self):
+        def one(max_workers):
+            labeler = make(shard_capacity=16)
+            result = run_workload(
+                labeler,
+                ZipfianWorkload(600, seed=5),
+                batch_size=64,
+                max_workers=max_workers,
+            )
+            return labeler, result
+
+        serial, serial_result = one(1)
+        pooled, pooled_result = one(WORKERS)
+        assert pooled.elements() == serial.elements()
+        assert pooled.labels() == serial.labels()
+        assert pooled_result.total_cost == serial_result.total_cost
+        assert pooled.pool is None  # the runner detached its owned pool
+
+
+class TestParallelReads:
+    def build(self, n=600):
+        serial = make(shard_capacity=16)
+        serial.bulk_load(list(range(n)))
+        return serial
+
+    def test_range_ranks_matches_cursor_drain(self):
+        labeler = self.build()
+        windows = [(1, 600), (50, 420), (299, 301), (595, 600), (7, 7)]
+        expected = {
+            window: list(
+                islice(labeler.iter_from(window[0]), window[1] - window[0] + 1)
+            )
+            for window in windows
+        }
+        with ShardPool(WORKERS) as pool:
+            labeler.set_parallel(pool)
+            for window in windows:
+                assert labeler.range_ranks(*window) == expected[window]
+            labeler.set_parallel(None)
+        # Serial path answers identically without a pool.
+        for window in windows:
+            assert labeler.range_ranks(*window) == expected[window]
+        assert labeler.range_ranks(10, 5) == []
+        assert labeler.range_ranks(601, 700) == []
+
+    def test_count_ranges_matches_the_singleton_loop(self):
+        labeler = self.build()
+        rng = random.Random(3)
+        windows = [
+            tuple(sorted((rng.randrange(labeler.num_slots),
+                          rng.randrange(labeler.num_slots))))
+            for _ in range(40)
+        ]
+        expected = [labeler.count_range(lo, hi) for lo, hi in windows]
+        with ShardPool(WORKERS) as pool:
+            labeler.set_parallel(pool)
+            assert labeler.count_ranges(windows) == expected
+            labeler.set_parallel(None)
+        assert labeler.count_ranges(windows) == expected

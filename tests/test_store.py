@@ -722,6 +722,190 @@ class TestStoreService:
         reopened.verify()
         reopened.close()
 
+    def test_point_reads_race_restructures(self, tmp_path):
+        """Regression: ``get``/``contains`` must hold the structure lock.
+
+        A stripe-only point read can overlap a singleton writer that holds
+        the structure lock plus a *different* key's stripe — and that
+        writer can be mid shard split/merge, leaving the rank directory
+        and shard list transiently inconsistent.  Pre-fix, readers here
+        observed missing keys and wrong values; post-fix every read of a
+        stable key must return its exact value.
+        """
+        store = DurableStore(
+            tmp_path / "race", algorithm="classical", shard_capacity=16,
+            sync_policy="never",
+        )
+        service = StoreService(store, stripes=4)
+        stable = list(range(0, 3000, 2))  # even keys: never touched again
+        service.put_many([(key, key * 3) for key in stable])
+        barrier = threading.Barrier(4, timeout=30)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def writer() -> None:
+            # Singleton puts/deletes hold one stripe each, so they overlap
+            # stripe-only readers; churning the odd keys forces a steady
+            # stream of splits and merges through the even keys' shards.
+            try:
+                barrier.wait()
+                rng = random.Random(99)
+                odd = list(range(1, 3000, 2))
+                for _ in range(3):
+                    rng.shuffle(odd)
+                    for key in odd:
+                        service.put(key, key * 3)
+                    for key in odd:
+                        service.delete(key)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+            finally:
+                stop.set()
+
+        def reader(slot: int) -> None:
+            try:
+                barrier.wait()
+                rng = random.Random(slot)
+                while not stop.is_set():
+                    key = stable[rng.randrange(len(stable))]
+                    assert service.contains(key)
+                    value = service.get(key)
+                    assert value == key * 3, f"key {key} read {value!r}"
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer)] + [
+            threading.Thread(target=reader, args=(slot,)) for slot in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert not errors, errors[0]
+        assert dict(service.snapshot_items()) == {
+            key: key * 3 for key in stable
+        }
+        service.verify()
+        service.close()
+
+    def test_point_reads_serialize_against_structure_writers(self, tmp_path):
+        """Regression: a point read must park behind the structure lock.
+
+        Pre-fix, ``get``/``contains`` took only their key's stripe, so
+        they completed while a restructuring writer held the structure
+        lock exclusively — reading mid-split state.  Post-fix they queue
+        behind the writer and complete only after it releases.
+        """
+        store = DurableStore(tmp_path / "order", sync_policy="never")
+        service = StoreService(store, stripes=4)
+        service.put(1, "one")
+        writer_in = threading.Event()
+        release_writer = threading.Event()
+        order: list[str] = []
+
+        def structure_writer() -> None:
+            with service._structure.write():
+                writer_in.set()
+                release_writer.wait(timeout=30)
+                order.append("writer released")
+
+        def point_reader() -> None:
+            assert service.get(1) == "one"
+            assert service.contains(1)
+            order.append("reader returned")
+
+        writer = threading.Thread(target=structure_writer)
+        writer.start()
+        assert writer_in.wait(timeout=30)
+        reader = threading.Thread(target=point_reader)
+        reader.start()
+        reader.join(timeout=0.5)
+        try:
+            # The writer still holds the structure lock: the read must
+            # not have completed (stripe-only reads slipped through here).
+            assert reader.is_alive(), "point read bypassed the structure lock"
+        finally:
+            release_writer.set()
+            writer.join(timeout=30)
+            reader.join(timeout=30)
+        assert order == ["writer released", "reader returned"]
+        service.close()
+
+    def test_parallel_batch_writers_with_paged_readers(self, tmp_path):
+        """Batch writers on the pooled path vs concurrent ``scan_pages``."""
+        store = DurableStore(
+            tmp_path / "par", algorithm="classical", shard_capacity=16,
+            sync_policy="never",
+        )
+        service = StoreService(store, stripes=8, max_workers=8)
+        assert service.pool is not None
+        assert store.labeler.pool is service.pool
+        errors: list[BaseException] = []
+        stop = threading.Event()
+        expected: dict = {}
+
+        def writer(slot: int) -> None:
+            try:
+                rng = random.Random(3000 + slot)
+                base = slot * 10**6
+                live: list[int] = []
+                for i in range(25):
+                    batch = [
+                        (base + i * 100 + j, f"w{slot}-{i}-{j}")
+                        for j in range(40)
+                    ]
+                    service.put_many(batch)
+                    expected.update(batch)
+                    live.extend(key for key, _ in batch)
+                    if len(live) > 80 and rng.random() < 0.4:
+                        victims = [
+                            live.pop(rng.randrange(len(live)))
+                            for _ in range(30)
+                        ]
+                        service.delete_many(victims)
+                        for victim in victims:
+                            expected.pop(victim)
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    last = None
+                    for page in service.scan_pages(page_size=64):
+                        keys = [key for key, _ in page]
+                        # Pages resume after the previous page's last key,
+                        # so the concatenated key stream must be strictly
+                        # increasing even while writers run between pages.
+                        assert keys == sorted(keys)
+                        assert last is None or keys[0] > last
+                        last = keys[-1]
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        writer_threads = [
+            threading.Thread(target=writer, args=(slot,)) for slot in range(4)
+        ]
+        reader_threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in writer_threads + reader_threads:
+            thread.start()
+        for thread in writer_threads:
+            thread.join(timeout=180)
+        stop.set()
+        for thread in reader_threads:
+            thread.join(timeout=180)
+        assert not errors, errors[0]
+        # Writers own disjoint key ranges, so the merged dict is the truth.
+        assert dict(service.snapshot_items()) == expected
+        service.verify()
+        service.close()
+        assert store.labeler.pool is None  # close() detached the pool
+
+        reopened = DurableStore(tmp_path / "par", sync_policy="never")
+        assert dict(reopened.items()) == expected
+        reopened.verify()
+        reopened.close()
+
     def test_latency_tracking_off_by_default(self, tmp_path):
         store = DurableStore(tmp_path / "svc", sync_policy="never")
         service = StoreService(store)
