@@ -38,6 +38,14 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+#: Historical latency-key spellings, kept as aliases of the canonical
+#: names (``latency_p*`` = per-operation view, ``latency_event_*`` =
+#: whole-event view).  :meth:`CostTracker.latency_summary` emits both, so
+#: committed BENCH documents written under either scheme still validate.
+LATENCY_KEY_ALIASES: dict[str, str] = {
+    "latency_max": "latency_event_max",
+}
+
 
 @dataclass(frozen=True)
 class WindowStatistics:
@@ -457,18 +465,34 @@ class CostTracker:
     def latency_summary(self) -> dict[str, float]:
         """Latency percentile dict (empty when no latency was recorded).
 
+        This is the **one** place latency keys are named, for every
+        producer (the runner's scenario metrics, the service's
+        ``latency_statistics()``, report tables): the canonical scheme is
+        ``latency_p*`` for the weight-expanded per-operation view and
+        ``latency_event_*`` for the whole-event view (a batch = one
+        sample).  :data:`LATENCY_KEY_ALIASES` keeps the historical
+        spellings (``latency_max`` for ``latency_event_max``) emitted
+        alongside, so committed BENCH documents and older dashboards keep
+        validating unchanged.
+
         All values are seconds and wall-clock derived — the benchmark
         comparator treats every ``latency_*`` metric as machine-dependent
         (warn-only), like ``elapsed_seconds``.
         """
         if not self.latency_events:
             return {}
-        return {
+        summary = {
             "latency_p50": self.latency_percentile(0.50),
             "latency_p99": self.latency_percentile(0.99),
             "latency_p999": self.latency_percentile(0.999),
-            "latency_max": self.max_latency,
+            "latency_event_p50": self.event_latency_percentile(0.50),
+            "latency_event_p99": self.event_latency_percentile(0.99),
+            "latency_event_p999": self.event_latency_percentile(0.999),
+            "latency_event_max": self.max_latency,
         }
+        for alias, canonical in LATENCY_KEY_ALIASES.items():
+            summary[alias] = summary[canonical]
+        return summary
 
     # ------------------------------------------------------------------
     # Merging and summarizing

@@ -28,8 +28,11 @@ pool is free and an all-serial run never spawns a thread.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Callable, Sequence, TypeVar
+
+from repro import obs
 
 T = TypeVar("T")
 
@@ -55,12 +58,25 @@ class ShardPool:
         the reference serial path the differential tests compare against.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self, max_workers: int | None = None, *, registry=None
+    ) -> None:
         if max_workers is None:
             max_workers = default_workers()
         self._max_workers = max(1, int(max_workers))
         self._executor: ThreadPoolExecutor | None = None
         self._closed = False
+        self.set_registry(registry)
+
+    def set_registry(self, registry) -> None:
+        """Bind queue/latency instruments to an observability registry."""
+        reg = obs.resolve(registry)
+        self._obs_enabled = reg.enabled
+        self._obs_inline = reg.counter("pool.inline_runs")
+        self._obs_tasks = reg.counter("pool.tasks")
+        self._obs_depth = reg.gauge("pool.queue_depth")
+        self._obs_wait = reg.histogram("pool.task_wait_seconds")
+        self._obs_run = reg.histogram("pool.task_run_seconds")
 
     @property
     def max_workers(self) -> int:
@@ -79,9 +95,17 @@ class ShardPool:
         has finished, so the caller never observes a half-running pool.
         """
         if self.is_serial or len(tasks) < 2:
+            if tasks:
+                # Degradation to the inline path: a closed/serial pool or a
+                # fan-out too small to be worth a thread round-trip.
+                self._obs_inline.inc()
             return [task() for task in tasks]
         executor = self._ensure_executor()
-        futures: list[Future] = [executor.submit(task) for task in tasks]
+        self._obs_tasks.inc(len(tasks))
+        if self._obs_enabled:
+            futures = self._submit_instrumented(executor, tasks)
+        else:
+            futures = [executor.submit(task) for task in tasks]
         results: list[T] = []
         error: BaseException | None = None
         for future in futures:
@@ -93,6 +117,33 @@ class ShardPool:
         if error is not None:
             raise error
         return results
+
+    def _submit_instrumented(
+        self, executor: ThreadPoolExecutor, tasks: Sequence[Callable[[], T]]
+    ) -> list[Future]:
+        """Submit with queue-depth and wait/run timing instrumentation.
+
+        Only used when the registry is live: the bare path must not pay
+        two clock reads and three instrument touches per task.  The
+        wrappers change *when* the clock is read, never what the task
+        computes, so results (and the determinism contract) are untouched.
+        """
+        submitted = time.perf_counter()
+
+        def wrap(task: Callable[[], T]) -> Callable[[], T]:
+            def call() -> T:
+                started = time.perf_counter()
+                self._obs_depth.dec()
+                self._obs_wait.observe(started - submitted)
+                try:
+                    return task()
+                finally:
+                    self._obs_run.observe(time.perf_counter() - started)
+
+            return call
+
+        self._obs_depth.inc(len(tasks))
+        return [executor.submit(wrap(task)) for task in tasks]
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:

@@ -65,6 +65,7 @@ from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
 from itertools import islice
 
+from repro import obs
 from repro.core.exceptions import BatchError, LabelerError
 from repro.core.fenwick import FenwickTree
 from repro.core.interface import ListLabeler
@@ -111,6 +112,7 @@ class ShardedLabeler(ListLabeler):
         merge_density: float = 0.15,
         parallel: ShardPool | None = None,
         max_workers: int | None = None,
+        registry=None,
     ) -> None:
         if shard_capacity < 8:
             raise ValueError("shard_capacity must be at least 8")
@@ -159,6 +161,7 @@ class ShardedLabeler(ListLabeler):
         self.rewrites = 0
         self.restructure_moves = 0
         self.restructure_log: list[tuple[str, int]] = []
+        self.set_registry(registry)
 
     # ------------------------------------------------------------------
     # Geometry and directory
@@ -219,6 +222,32 @@ class ShardedLabeler(ListLabeler):
             "max_shard_size": float(max(sizes, default=0)),
             "min_shard_size": float(min(sizes, default=0)),
         }
+
+    def set_registry(self, registry) -> None:
+        """Bind observability instruments to ``registry``.
+
+        Restructure counters mirror the lifetime attributes
+        (:attr:`splits` …) into a shared :class:`~repro.obs.MetricsRegistry`
+        where they can be read over the wire; the shard-count gauge and the
+        per-shard density histogram are refreshed on every restructure.
+        Called by :class:`~repro.store.store.DurableStore` to adopt its
+        labeler into the store's registry after construction.
+        """
+        reg = obs.resolve(registry)
+        self._obs_enabled = reg.enabled
+        self._obs_restructures = {
+            kind: reg.counter(f"sharded.{name}")
+            for kind, name in self._RESTRUCTURE_COUNTERS.items()
+        }
+        self._obs_restructure_moves = reg.counter("sharded.restructure_moves")
+        self._obs_shards = reg.gauge("sharded.shard_count")
+        # Density lives in (0, 1]; doubling buckets from 1/128 give 8
+        # meaningful bands ending exactly at a full shard.
+        self._obs_density = reg.histogram(
+            "sharded.shard_density", start=1.0 / 128.0, factor=2.0, count=8
+        )
+        if self._obs_enabled:
+            self._obs_shards.set(len(self._shards))
 
     def _rebuild_directory(self) -> None:
         """Rebuild the rank directory and the aggregate geometry.
@@ -318,12 +347,29 @@ class ShardedLabeler(ListLabeler):
         "rewrite": "rewrites",
     }
 
+    #: Restructures between full shard-density sweeps (see
+    #: :meth:`_record_restructure`).
+    _DENSITY_SWEEP_STRIDE = 32
+
     def _record_restructure(self, kind: str, moves: Sequence[Move]) -> None:
         moved = sum(1 for move in moves if move.cost > 0)
         self.restructure_log.append((kind, moved))
         self.restructure_moves += moved
         counter = self._RESTRUCTURE_COUNTERS[kind]
         setattr(self, counter, getattr(self, counter) + 1)
+        self._obs_restructures[kind].inc()
+        if moved:
+            self._obs_restructure_moves.inc(moved)
+        if self._obs_enabled:
+            self._obs_shards.set(len(self._shards))
+            # A full density sweep is O(K) with a locked observe per
+            # shard; amortize it to one sweep per stride restructures so
+            # a restructure-heavy ingest never pays a K-proportional
+            # instrumentation tax on every split.
+            if len(self.restructure_log) % self._DENSITY_SWEEP_STRIDE == 1:
+                capacity = float(self._shard_capacity)
+                for shard in self._shards:
+                    self._obs_density.observe(len(shard) / capacity)
 
     def _even_chunks(self, contents: Sequence[Hashable]) -> list[list[Hashable]]:
         """Partition ``contents`` into evenly-loaded shard-sized chunks.

@@ -1,0 +1,142 @@
+"""Process-wide observability: metrics registry + trace spans.
+
+Usage, component side — resolve once at construction time and record
+through the cached instruments::
+
+    from repro import obs
+
+    class WriteAheadLog:
+        def __init__(self, ..., registry=None):
+            reg = obs.resolve(registry)
+            self._obs_frames = reg.counter("wal.frames_appended")
+
+    # hot path
+    self._obs_frames.inc()
+
+Usage, operator side — switch the whole process on and read it back::
+
+    registry = obs.enable()          # install a real registry + tracer
+    ...
+    print(obs.render_prometheus(registry.snapshot()))
+
+The default global registry is :data:`NULL_REGISTRY` and the default
+tracer :data:`NULL_TRACER` — every instrument lookup returns an inert
+singleton and every span is one reusable no-op context manager, so
+code built before :func:`enable` (or with observability off for its
+whole life) runs the seed paths untouched.  Components resolve the
+globals at *construction* time; enable observability before building
+the store stack you want measured, or inject a registry explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    render_prometheus,
+)
+from repro.obs.spans import NULL_TRACER, NullTracer, SpanTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "SpanTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_prometheus",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_tracer",
+    "resolve",
+    "span",
+    "enable",
+    "disable",
+]
+
+_registry = NULL_REGISTRY
+_tracer = NULL_TRACER
+
+
+def get_registry():
+    """The process-wide registry (the null registry unless enabled)."""
+    return _registry
+
+
+def get_tracer():
+    """The process-wide span tracer (the null tracer unless enabled)."""
+    return _tracer
+
+
+def set_registry(registry):
+    """Install ``registry`` globally; returns the previous registry."""
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+def set_tracer(tracer):
+    """Install ``tracer`` globally; returns the previous tracer."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+def resolve(registry=None):
+    """The registry a component should record into.
+
+    Explicit injection wins; otherwise the current global.  Called once
+    at construction time so the hot path never consults module state.
+    """
+    return registry if registry is not None else _registry
+
+
+def span(name: str):
+    """A span context manager on the current global tracer."""
+    return _tracer.span(name)
+
+
+def enable(
+    *,
+    registry=None,
+    slow_threshold_seconds: float = 0.050,
+    slow_op_capacity: int = 64,
+):
+    """Switch process-wide observability on; returns the live registry.
+
+    Idempotent: if a real registry is already installed it is kept (an
+    explicitly passed ``registry`` still replaces it).  A real tracer is
+    installed alongside unless one is already active.
+    """
+    global _registry, _tracer
+    if registry is not None:
+        _registry = registry
+    elif not _registry.enabled:
+        _registry = MetricsRegistry()
+    if not _tracer.enabled:
+        _tracer = SpanTracer(
+            slow_threshold_seconds=slow_threshold_seconds,
+            capacity=slow_op_capacity,
+        )
+    return _registry
+
+
+def disable():
+    """Back to the inert defaults; returns ``(registry, tracer)`` removed."""
+    global _registry, _tracer
+    previous = (_registry, _tracer)
+    _registry = NULL_REGISTRY
+    _tracer = NULL_TRACER
+    return previous

@@ -1,0 +1,163 @@
+"""Request-scoped trace spans with a bounded slow-op ring buffer.
+
+``span("wal.append")`` is a context manager on monotonic clocks.  Spans
+opened while another span is active on the same thread become children,
+so one service command yields a tree::
+
+    service.put (1.8ms)
+      store.commit (1.6ms)
+        wal.append (1.1ms)
+
+Only *slow* roots are retained: when a top-level span's duration crosses
+the tracer's threshold, the whole tree is serialized into a fixed-size
+ring buffer (oldest evicted first).  Everything else vanishes on exit —
+the tracer holds no per-operation state for fast operations, which is
+what keeps always-on tracing affordable.
+
+The default tracer is the shared :data:`NULL_TRACER`; its ``span`` hands
+back one reusable no-op context manager, so instrumented code paths pay
+a single method call when tracing is off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["SpanTracer", "NullTracer", "NULL_TRACER"]
+
+
+class _Node:
+    __slots__ = ("name", "start", "end", "children")
+
+    def __init__(self, name: str, start: float) -> None:
+        self.name = name
+        self.start = start
+        self.end = start
+        self.children: list[_Node] = []
+
+    def serialize(self, root_start: float) -> dict:
+        return {
+            "name": self.name,
+            "offset_seconds": self.start - root_start,
+            "duration_seconds": self.end - self.start,
+            "children": [
+                child.serialize(root_start) for child in self.children
+            ],
+        }
+
+
+class _Span:
+    """One live span; entering pushes onto the thread's span stack."""
+
+    __slots__ = ("_tracer", "_node")
+
+    def __init__(self, tracer: "SpanTracer", name: str) -> None:
+        self._tracer = tracer
+        self._node = _Node(name, 0.0)
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        node = self._node
+        if stack:
+            stack[-1].children.append(node)
+        stack.append(node)
+        node.start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        node = self._node
+        node.end = tracer._clock()
+        stack = tracer._stack()
+        if stack and stack[-1] is node:
+            stack.pop()
+        if not stack:
+            tracer._finish_root(node)
+
+
+class SpanTracer:
+    """Nesting span recorder retaining only slow span trees."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        *,
+        slow_threshold_seconds: float = 0.050,
+        capacity: int = 64,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("slow-op ring needs capacity >= 1")
+        self.slow_threshold_seconds = float(slow_threshold_seconds)
+        self._clock = clock
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._ring_lock = threading.Lock()
+        self._local = threading.local()
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name)
+
+    def _finish_root(self, node: _Node) -> None:
+        duration = node.end - node.start
+        if duration < self.slow_threshold_seconds:
+            return
+        entry = {
+            "duration_seconds": duration,
+            "threshold_seconds": self.slow_threshold_seconds,
+            "thread": threading.current_thread().name,
+            "root": node.serialize(node.start),
+        }
+        with self._ring_lock:
+            self._ring.append(entry)
+
+    def slow_ops(self) -> list[dict]:
+        """Captured slow span trees, oldest first."""
+        with self._ring_lock:
+            return list(self._ring)
+
+    def clear(self) -> None:
+        with self._ring_lock:
+            self._ring.clear()
+
+
+class _NullSpan:
+    """Reusable no-op context manager; safe to re-enter and to nest."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def slow_ops(self) -> list:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

@@ -58,6 +58,7 @@ from pathlib import Path
 from repro.perf.scenarios import (
     CORE_SCENARIOS,
     LATENCY_SCENARIOS,
+    OBS_SCENARIOS,
     PARALLEL_SCENARIOS,
     QUERY_SCENARIOS,
     SERVER_SCENARIOS,
@@ -90,6 +91,7 @@ SUITES: dict[str, dict[str, ScenarioSpec]] = {
     "latency": LATENCY_SCENARIOS,
     "server": SERVER_SCENARIOS,
     "parallel": PARALLEL_SCENARIOS,
+    "obs": OBS_SCENARIOS,
 }
 
 #: Entries kept in a baseline file's ``trajectory`` history list.
@@ -114,6 +116,9 @@ WALL_CLOCK_METRICS = frozenset(
         "singleton_ops_per_second",
         "serial_ops_per_second",
         "parallel_ops_per_second",
+        "bare_elapsed_seconds",
+        "instrumented_elapsed_seconds",
+        "overhead_fraction",
     }
 )
 
@@ -137,6 +142,10 @@ _CORRECTNESS_FLAGS = {
     "parallel_matches_serial": (
         "pooled shard execution diverged from the serial path (state "
         "digest or move log mismatch across worker counts)"
+    ),
+    "obs_matches_bare": (
+        "a live metrics registry changed a structural decision (move log "
+        "digest diverged between the bare and instrumented runs)"
     ),
 }
 

@@ -25,6 +25,14 @@
   LSN and restart again (snapshot bootstrap).  Each round must end with
   the replica's state digest *exactly* equal to the primary's at zero
   lag; exits nonzero otherwise.
+* ``stats --host H --port P`` — connect to a live server and render its
+  ``STATS`` (durability, compactor, replication, shards) and ``METRICS``
+  (Prometheus exposition + slow-op count) responses.
+* ``obs-smoke [--frames N] [--seed S]`` — the observability drill the
+  ``obs-smoke`` CI job runs: serve an instrumented store, drive mixed
+  traffic (including deliberate protocol and command errors) over the
+  wire, assert every expected metric family shows up in ``METRICS``, and
+  check the ``stats`` command renders it all with exit code 0.
 
 A maintenance command pointed at a directory holding no store refuses to
 run (a mistyped ``--dir`` must not conjure an empty store and call it
@@ -285,6 +293,211 @@ def _cmd_replica_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Render a live server's STATS + METRICS over the wire."""
+    from repro.store.client import StoreClient
+
+    with StoreClient(args.host, args.port, timeout=args.timeout) as client:
+        stats = client.stats()
+        print(f"server     : {args.host}:{args.port}")
+        print(f"durability : last lsn {stats['last_lsn']}, "
+              f"horizon {stats['durable_horizon']}, "
+              f"{stats['wal_frames_since_snapshot']} wal frame(s) "
+              f"since snapshot")
+        error = stats.get("last_compactor_error")
+        print(f"compactor  : "
+              f"{'alive' if stats.get('compactor_alive') else 'not running'}"
+              + (f" (last error: {error})" if error else ""))
+        floor = stats.get("replication_floor")
+        print(f"replicas   : {stats.get('replica_count', 0)} connected, "
+              f"acks {stats.get('replica_acks', [])}, "
+              f"floor {floor if floor is not None else '-'}")
+        shards = stats.get("shard_statistics") or {}
+        if shards:
+            print("shards     : " + ", ".join(
+                f"{key}={value}" for key, value in sorted(shards.items())
+            ))
+        latency = stats.get("latency") or {}
+        interesting = [
+            key for key in ("operations", "latency_p50", "latency_p999",
+                            "latency_event_p999", "latency_event_max")
+            if key in latency
+        ]
+        if interesting:
+            print("latency    : " + ", ".join(
+                f"{key}={latency[key]}" for key in interesting
+            ))
+        errors = stats.get("error_counts") or {}
+        if errors:
+            print("errors     : " + ", ".join(
+                f"{family}={count}" for family, count in sorted(errors.items())
+            ))
+        metrics = client.metrics()
+        if metrics.get("enabled"):
+            slow = metrics.get("slow_ops") or []
+            print(f"slow ops   : {len(slow)} captured over threshold")
+            print("metrics    :")
+            print(metrics["exposition"], end="")
+        else:
+            print("metrics    : registry disabled "
+                  "(start the server with an obs registry to collect them)")
+    return 0
+
+
+def _cmd_obs_smoke(args: argparse.Namespace) -> int:
+    """End-to-end observability drill (the ``obs-smoke`` CI job).
+
+    Serves an instrumented store, drives mixed traffic over the wire —
+    including a deliberate unknown command, a miss delete, and a raw
+    oversized frame — then asserts the METRICS response carries every
+    expected metric family, STATS reports compactor/replication/shard
+    health, and the ``stats`` CLI renders it all with exit code 0.
+    """
+    import contextlib
+    import io
+    import socket as socket_module
+    import struct
+    from pathlib import Path
+
+    from repro.obs import MetricsRegistry
+    from repro.store.client import StoreClient, StoreClientError
+    from repro.store.harness import apply_to_store, make_ops
+    from repro.store.protocol import MAX_MESSAGE_BYTES
+    from repro.store.server import ServerThread
+    from repro.store.service import StoreService
+
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        print(("ok    : " if condition else "FAIL  : ") + message)
+        if not condition:
+            failures.append(message)
+
+    root = Path(tempfile.mkdtemp(prefix="repro-obs-smoke-"))
+    registry = MetricsRegistry()
+    try:
+        store = DurableStore(
+            root / "store",
+            algorithm="classical",
+            shard_capacity=64,
+            sync_policy="never",
+            registry=registry,
+        )
+        service = StoreService(store, stripes=8, track_latency=True)
+        service.start_compactor(poll_seconds=0.05, wal_frame_threshold=10**9)
+        with ServerThread(service) as server:
+            host, port = server.address
+            print(f"primary: serving at {host}:{port} (registry live)")
+            with StoreClient(host, port) as client:
+                for op in make_ops(args.frames, args.seed):
+                    apply_to_store(client, op)
+                page = client.range_scan(limit=64)
+                if page:
+                    client.count_range(page[0][0], page[-1][0])
+                check(client.size() > 0, "mixed traffic left a populated store")
+                try:
+                    client.delete(("obs-smoke", "no-such-key"))
+                    check(False, "miss delete raised KeyError")
+                except KeyError:
+                    check(True, "miss delete raised KeyError")
+                try:
+                    client._call("BOGUS")
+                    check(False, "unknown command was rejected")
+                except StoreClientError as error:
+                    check(
+                        error.code == "bad_request",
+                        "unknown command was rejected",
+                    )
+            # An oversized length prefix must drop the connection (and be
+            # accounted in its own error family).
+            with socket_module.create_connection(
+                (host, port), timeout=10.0
+            ) as sock:
+                sock.sendall(struct.pack(">I", MAX_MESSAGE_BYTES + 1))
+                sock.settimeout(10.0)
+                check(
+                    sock.recv(1) == b"",
+                    "oversized frame dropped the connection",
+                )
+
+            with StoreClient(host, port) as client:
+                metrics = client.metrics()
+                check(metrics.get("enabled") is True, "METRICS reports a live registry")
+                snapshot = metrics["metrics"]
+                counters = snapshot["counters"]
+                for name in (
+                    "wal.frames_appended",
+                    "wal.bytes_appended",
+                    "server.requests",
+                    "server.connections",
+                    "server.errors.bad_command",
+                    "server.errors.not_found",
+                    "server.errors.oversized_frame",
+                ):
+                    check(
+                        counters.get(name, 0) > 0,
+                        f"counter {name} > 0",
+                    )
+                check(
+                    any(name.startswith("service.latency.")
+                        for name in snapshot["histograms"]),
+                    "per-command latency histograms present",
+                )
+                check(
+                    snapshot["gauges"].get("sharded.shard_count", 0) >= 1,
+                    "shard-count gauge present",
+                )
+                check(
+                    snapshot["gauges"].get("service.compactor_alive") == 1,
+                    "compactor liveness gauge reads 1",
+                )
+                exposition = metrics.get("exposition", "")
+                check(
+                    "# TYPE repro_wal_frames_appended_total counter"
+                    in exposition,
+                    "exposition text carries TYPE lines",
+                )
+                stats = client.stats()
+                check(stats.get("compactor_alive") is True, "STATS: compactor alive")
+                check(
+                    stats.get("last_compactor_error") is None,
+                    "STATS: no compactor error",
+                )
+                check(
+                    bool(stats.get("shard_statistics")),
+                    "STATS: shard statistics present",
+                )
+                check(
+                    stats.get("error_counts", {}).get("bad_command", 0) >= 1,
+                    "STATS: error families accounted",
+                )
+
+            # The user-facing path: `python -m repro.store stats` against
+            # this live server must exit 0 and print something.
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                code = _cmd_stats(argparse.Namespace(
+                    host=host, port=port, timeout=10.0
+                ))
+            rendered = buffer.getvalue()
+            check(
+                code == 0 and bool(rendered.strip()),
+                "stats CLI exited 0 with non-empty output",
+            )
+            check(
+                "repro_wal_frames_appended_total" in rendered,
+                "stats CLI rendered the exposition text",
+            )
+        service.close()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    if failures:
+        print(f"obs-smoke: {len(failures)} failure(s)")
+        return 1
+    print("obs-smoke: every metric family observed over the wire")
+    return 0
+
+
 def _parse_key(text: str | None):
     """A CLI key: JSON when it parses, the raw string otherwise."""
     if text is None:
@@ -401,6 +614,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     smoke.add_argument("--seed", type=int, default=20260730)
     smoke.set_defaults(func=_cmd_replica_smoke)
+
+    stats = sub.add_parser(
+        "stats", help="render a live server's STATS + METRICS over the wire"
+    )
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, required=True)
+    stats.add_argument("--timeout", type=float, default=10.0)
+    stats.set_defaults(func=_cmd_stats)
+
+    obs_smoke = sub.add_parser(
+        "obs-smoke",
+        help="end-to-end metrics/tracing drill against a live server (CI job)",
+    )
+    obs_smoke.add_argument(
+        "--frames", type=int, default=600, help="mixed-traffic operations"
+    )
+    obs_smoke.add_argument("--seed", type=int, default=20260730)
+    obs_smoke.set_defaults(func=_cmd_obs_smoke)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -5,7 +5,7 @@
 :class:`~repro.store.service.StoreService` API: ``get`` / ``put`` /
 ``delete`` / ``put_many`` / ``delete_many`` / ``range_scan`` /
 ``count_range`` / ``scan_pages`` / ``size`` / ``contains`` / ``verify`` /
-``stats``.  Errors come back typed — a missing key raises ``KeyError``
+``stats`` / ``metrics``.  Errors come back typed — a missing key raises ``KeyError``
 like the local store, a write against a replica raises
 :class:`ReadOnlyError` — so code written against the service runs against
 the wire unchanged.
@@ -148,7 +148,17 @@ class StoreClient:
         return self._call("VERIFY")["report"]
 
     def stats(self) -> dict:
+        """Durability, compactor, replication and shard statistics."""
         return self._call("STATS")
+
+    def metrics(self) -> dict:
+        """The server's metrics snapshot.
+
+        Returns the METRICS response: ``enabled`` (whether a live
+        registry is installed), ``metrics`` (the structured snapshot),
+        ``exposition`` (Prometheus text format) and ``slow_ops`` (the
+        captured slow-operation span trees)."""
+        return self._call("METRICS")
 
     # ------------------------------------------------------------------
     def close(self) -> None:

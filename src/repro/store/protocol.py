@@ -12,8 +12,9 @@ tuples, bytes, non-string dict keys) round-trips the network unchanged::
 
 Requests are dicts with a ``cmd`` key (``GET``, ``PUT``, ``DELETE``,
 ``PUT_MANY``, ``DELETE_MANY``, ``RANGE``, ``COUNT_RANGE``,
-``SCAN_PAGES``, ``SIZE``, ``CONTAINS``, ``VERIFY``, ``STATS``, ``PING``,
-``REPLICATE``, ``ACK``); responses carry ``ok`` plus either the result
+``SCAN_PAGES``, ``SIZE``, ``CONTAINS``, ``VERIFY``, ``STATS``,
+``METRICS``, ``PING``, ``REPLICATE``, ``ACK``); responses carry ``ok``
+plus either the result
 fields or ``{"ok": false, "code": ..., "error": ...}``.  Replication
 switches the connection into a push stream of ``kind``-tagged messages
 (``frames`` / ``heartbeat`` / ``snapshot`` / ``restart``) flowing
@@ -43,11 +44,18 @@ class ProtocolError(RuntimeError):
     """A malformed frame, an oversized length prefix, or a truncated body."""
 
 
+class OversizedFrameError(ProtocolError):
+    """A length prefix or body beyond :data:`MAX_MESSAGE_BYTES`.
+
+    Split out from the generic :class:`ProtocolError` so the server can
+    account oversized frames as their own error family."""
+
+
 def encode_message(message: dict) -> bytes:
     """Frame one message: length prefix + canonical codec JSON."""
     body = codec.dumps(message).encode("utf-8")
     if len(body) > MAX_MESSAGE_BYTES:
-        raise ProtocolError(
+        raise OversizedFrameError(
             f"message of {len(body)} bytes exceeds the "
             f"{MAX_MESSAGE_BYTES}-byte limit"
         )
@@ -69,7 +77,7 @@ def decode_body(body: bytes) -> dict:
 
 def _check_length(length: int) -> None:
     if length > MAX_MESSAGE_BYTES:
-        raise ProtocolError(
+        raise OversizedFrameError(
             f"length prefix {length} exceeds the {MAX_MESSAGE_BYTES}-byte limit"
         )
 

@@ -46,6 +46,7 @@ import threading
 from pathlib import Path
 from typing import Callable
 
+from repro import obs
 from repro.store.protocol import (
     ProtocolError,
     recv_message,
@@ -75,6 +76,7 @@ class Replica:
         compact_every: int | None = None,
         reconnect_seconds: float = 0.05,
         on_error: Callable[[BaseException], None] | None = None,
+        registry=None,
     ) -> None:
         self.directory = Path(directory)
         self.primary = primary
@@ -100,6 +102,13 @@ class Replica:
         self.last_error: BaseException | None = None
         self._primary_lsn = 0
         self._final_lsn = 0
+
+        self._obs = obs.resolve(registry)
+        self._obs_bootstraps = self._obs.counter("replica.bootstraps")
+        self._obs_frames = self._obs.counter("replica.frames_applied")
+        self._obs_acks = self._obs.counter("replica.ack_round_trips")
+        self._obs_lag = self._obs.gauge("replica.lag_lsns")
+        self._obs_connected = self._obs.gauge("replica.connected")
 
     # ------------------------------------------------------------------
     # Observability
@@ -214,6 +223,7 @@ class Replica:
             self.directory,
             sync_policy=self._sync_policy,
             compact_every=self._compact_every,
+            registry=self._obs,
         )
         self._service = StoreService(store)
         if self._serve:
@@ -282,6 +292,7 @@ class Replica:
                 finally:
                     os.close(fd)
             self.bootstrap_count += 1
+            self._obs_bootstraps.inc()
             self._open_store()
 
     # ------------------------------------------------------------------
@@ -306,6 +317,7 @@ class Replica:
                         self._on_error(error)
                 finally:
                     self.connected = False
+                    self._obs_connected.set(0)
                 self._stop.wait(self._reconnect_seconds)
         except BaseException as error:  # pragma: no cover - fatal surface
             self.last_error = error
@@ -343,7 +355,9 @@ class Replica:
                 send_message(
                     sock, {"cmd": "ACK", "lsn": self._service.store.last_lsn}
                 )
+                self._obs_acks.inc()
             self.connected = True
+            self._obs_connected.set(1)
             self._stream(sock)
         finally:
             sock.close()
@@ -355,23 +369,33 @@ class Replica:
                 return
             kind = message.get("kind")
             if kind == "frames":
-                for line in message["frames"]:
-                    if self._stop.is_set():
-                        # A kill mid-chunk is safe: every applied frame is
-                        # already durable locally, and the next connect
-                        # resumes from the store's recovered last_lsn.
-                        return
-                    self._service.apply_frame_line(line)
+                applied = 0
+                try:
+                    for line in message["frames"]:
+                        if self._stop.is_set():
+                            # A kill mid-chunk is safe: every applied frame
+                            # is already durable locally, and the next
+                            # connect resumes from the store's recovered
+                            # last_lsn.
+                            return
+                        self._service.apply_frame_line(line)
+                        applied += 1
+                finally:
+                    if applied:
+                        self._obs_frames.inc(applied)
                 self._primary_lsn = max(
                     self._primary_lsn, message.get("primary_lsn", 0)
                 )
                 send_message(
                     sock, {"cmd": "ACK", "lsn": self._service.store.last_lsn}
                 )
+                self._obs_acks.inc()
+                self._obs_lag.set(self.lag)
             elif kind == "heartbeat":
                 self._primary_lsn = max(
                     self._primary_lsn, message.get("primary_lsn", 0)
                 )
+                self._obs_lag.set(self.lag)
             elif kind == "restart":
                 # Compaction outran this stream; reconnect — the next
                 # handshake will bootstrap from a covering snapshot.

@@ -39,7 +39,13 @@ import asyncio
 import threading
 from typing import Callable
 
-from repro.store.protocol import ProtocolError, read_message, write_message
+from repro import obs
+from repro.store.protocol import (
+    OversizedFrameError,
+    ProtocolError,
+    read_message,
+    write_message,
+)
 from repro.store.service import StoreService
 
 #: Frames per ``frames`` push message (bounds message size on big tails).
@@ -80,11 +86,36 @@ class StoreServer:
         self._replicas: dict[int, dict] = {}
         self._next_replica_id = 0
         self._commit_listener: Callable[[int], None] | None = None
+        self._registry = service.registry
+        self._obs_connections = self._registry.counter("server.connections")
+        self._obs_requests = self._registry.counter("server.requests")
+        self._obs_errors: dict[str, object] = {}
 
     # ------------------------------------------------------------------
     @property
     def service(self) -> StoreService:
         return self._service
+
+    @property
+    def registry(self):
+        """The metrics registry this server records into."""
+        return self._registry
+
+    def _count_error(self, family: str):
+        """Bump (and cache) the counter for one error family."""
+        counter = self._obs_errors.get(family)
+        if counter is None:
+            counter = self._registry.counter(f"server.errors.{family}")
+            self._obs_errors[family] = counter
+        counter.inc()
+        return counter
+
+    def error_counts(self) -> dict[str, int]:
+        """Per-family error counts observed so far (all zero when obs is off)."""
+        return {
+            family: counter.value
+            for family, counter in sorted(self._obs_errors.items())
+        }
 
     @property
     def address(self) -> tuple[str, int]:
@@ -144,11 +175,16 @@ class StoreServer:
     # Connection handling
     # ------------------------------------------------------------------
     async def _handle_connection(self, reader, writer) -> None:
+        self._obs_connections.inc()
         try:
             while True:
                 try:
                     request = await read_message(reader)
+                except OversizedFrameError:
+                    self._count_error("oversized_frame")
+                    break
                 except ProtocolError:
+                    self._count_error("protocol")
                     break
                 if request is None:
                     break
@@ -171,20 +207,33 @@ class StoreServer:
                 pass
 
     async def _dispatch(self, cmd, request: dict) -> dict:
+        self._obs_requests.inc()
+        server_handler = _SERVER_HANDLERS.get(cmd)
+        if server_handler is not None:
+            try:
+                return await asyncio.to_thread(server_handler, self, request)
+            except Exception as error:
+                self._count_error("server_error")
+                return _error("server_error", f"{type(error).__name__}: {error}")
         handler = _HANDLERS.get(cmd)
         if handler is None:
+            self._count_error("bad_command")
             return _error("bad_request", f"unknown command {cmd!r}")
         if cmd in _MUTATING and self.read_only:
+            self._count_error("read_only")
             return _error(
                 "read_only", "this server is a replica; writes go to the primary"
             )
         try:
             return await asyncio.to_thread(handler, self._service, request)
         except KeyError as error:
+            self._count_error("not_found")
             return _error("not_found", f"key not found: {error.args[0]!r}")
         except (TypeError, ValueError) as error:
+            self._count_error("bad_request")
             return _error("bad_request", str(error))
         except Exception as error:  # the store's own integrity errors
+            self._count_error("server_error")
             return _error("server_error", f"{type(error).__name__}: {error}")
 
     # ------------------------------------------------------------------
@@ -424,14 +473,44 @@ def _handle_verify(service: StoreService, request: dict) -> dict:
     return {"ok": True, "report": service.verify()}
 
 
-def _handle_stats(service: StoreService, request: dict) -> dict:
+def _handle_stats(server: "StoreServer", request: dict) -> dict:
+    """Enriched STATS: durability, compactor health, replication, shards.
+
+    Runs as a *server* handler (not a service handler) so it can read the
+    replica ack table and error counters only the server holds.
+    """
+    service = server.service
     store = service.store
+    error = service.last_compactor_error
+    acks = sorted(entry["acked"] for entry in server._replicas.values())
     return {
         "ok": True,
         "last_lsn": store.last_lsn,
         "durable_horizon": store.durable_horizon,
         "wal_frames_since_snapshot": store.wal_frames_since_snapshot,
         "latency": service.latency_statistics(),
+        "compactor_alive": service.compactor_alive,
+        "last_compactor_error": (
+            f"{type(error).__name__}: {error}" if error is not None else None
+        ),
+        "replica_count": server.replica_count,
+        "replica_acks": acks,
+        "replication_floor": server.replication_floor(),
+        "shard_statistics": service.shard_statistics(),
+        "error_counts": server.error_counts(),
+    }
+
+
+def _handle_metrics(server: "StoreServer", request: dict) -> dict:
+    """Whole-process metrics: snapshot, Prometheus text, slow-op traces."""
+    registry = server.registry
+    snapshot = registry.snapshot()
+    return {
+        "ok": True,
+        "enabled": registry.enabled,
+        "metrics": snapshot,
+        "exposition": obs.render_prometheus(snapshot),
+        "slow_ops": obs.get_tracer().slow_ops(),
     }
 
 
@@ -448,7 +527,13 @@ _HANDLERS: dict[str, Callable[[StoreService, dict], dict]] = {
     "SCAN_PAGES": _handle_scan_pages,
     "SIZE": _handle_size,
     "VERIFY": _handle_verify,
+}
+
+#: Handlers that need the *server* (replica acks, error counters, the
+#: registry) rather than just the service; checked before ``_HANDLERS``.
+_SERVER_HANDLERS: dict[str, Callable[["StoreServer", dict], dict]] = {
     "STATS": _handle_stats,
+    "METRICS": _handle_metrics,
 }
 
 _MUTATING = frozenset({"PUT", "DELETE", "PUT_MANY", "DELETE_MANY"})

@@ -56,6 +56,7 @@ import threading
 import time
 from typing import Callable, Hashable, Iterable, Sequence
 
+from repro import obs
 from repro.core.cost import CostTracker
 from repro.core.parallel import ShardPool, resolve_pool
 from repro.store.store import DurableStore
@@ -136,6 +137,7 @@ class StoreService:
         clock: Callable[[], float] | None = None,
         parallel: ShardPool | None = None,
         max_workers: int | None = None,
+        registry=None,
     ) -> None:
         self._store = store
         if stripes is None:
@@ -158,6 +160,47 @@ class StoreService:
         self._latency = CostTracker() if track_latency else None
         self._clock = clock if clock is not None else time.perf_counter
         self._retainer: Callable[[], int | None] | None = None
+        # The service inherits the store's registry unless given its own,
+        # so one injection at the DurableStore covers the whole stack.
+        if registry is None:
+            registry = getattr(store, "obs", None)
+        self._registry = obs.resolve(registry)
+        self._obs_enabled = self._registry.enabled
+        self._obs_commands: dict[str, object] = {}
+        self._obs_lock_wait = self._registry.histogram("service.lock_wait_seconds")
+        self._obs_lock_hold = self._registry.histogram("service.lock_hold_seconds")
+        self._obs_compactor_alive = self._registry.gauge("service.compactor_alive")
+        self._obs_compactor_errors = self._registry.counter(
+            "service.compactor_errors"
+        )
+
+    @property
+    def registry(self):
+        """The observability registry this service records into."""
+        return self._registry
+
+    def _command_histogram(self, command: str):
+        histogram = self._obs_commands.get(command)
+        if histogram is None:
+            histogram = self._registry.histogram(f"service.latency.{command}")
+            self._obs_commands[command] = histogram
+        return histogram
+
+    def _observe_command(
+        self, command: str, started: float, acquired: float | None = None
+    ) -> None:
+        """Record one command's latency (and lock wait vs hold split).
+
+        ``started`` was stamped before any lock was touched, ``acquired``
+        right after every lock was held — so wait is pure queueing and
+        hold is pure work, and their sum is the client-visible latency the
+        per-command histogram sees.
+        """
+        now = self._clock()
+        self._command_histogram(command).observe(max(0.0, now - started))
+        if acquired is not None:
+            self._obs_lock_wait.observe(max(0.0, acquired - started))
+            self._obs_lock_hold.observe(max(0.0, now - acquired))
 
     # ------------------------------------------------------------------
     @property
@@ -185,47 +228,87 @@ class StoreService:
     # stripe alone cannot see that.  Shared-mode holds still overlap
     # freely, so reads never serialize against each other.
     def get(self, key, default=None):
+        started = self._clock() if self._obs_enabled else 0.0
         with self._structure.read():
             with self._stripe(key).read():
-                return self._store.get(key, default)
+                value = self._store.get(key, default)
+        if self._obs_enabled:
+            self._observe_command("get", started)
+        return value
 
     def contains(self, key) -> bool:
+        started = self._clock() if self._obs_enabled else 0.0
         with self._structure.read():
             with self._stripe(key).read():
-                return key in self._store
+                found = key in self._store
+        if self._obs_enabled:
+            self._observe_command("contains", started)
+        return found
 
     # ------------------------------------------------------------------
     # Mutations: structure exclusive + key stripe(s) exclusive
     # ------------------------------------------------------------------
+    def _mutation_stamp(self) -> float:
+        """Pre-lock timestamp; 0.0 when nothing will consume it."""
+        if self._latency is not None or self._obs_enabled:
+            return self._clock()
+        return 0.0
+
     def put(self, key, value) -> None:
-        started = self._clock() if self._latency is not None else 0.0
-        with self._structure.write():
-            with self._stripe(key).write():
-                self._mutate(lambda: self._store.put(key, value), started, 1)
+        started = self._mutation_stamp()
+        with obs.span("service.put"):
+            with self._structure.write():
+                with self._stripe(key).write():
+                    acquired = self._clock() if self._obs_enabled else None
+                    self._mutate(lambda: self._store.put(key, value), started, 1)
+                    if self._obs_enabled:
+                        self._observe_command("put", started, acquired)
 
     def delete(self, key) -> None:
-        started = self._clock() if self._latency is not None else 0.0
-        with self._structure.write():
-            with self._stripe(key).write():
-                self._mutate(lambda: self._store.delete(key), started, 1)
+        started = self._mutation_stamp()
+        with obs.span("service.delete"):
+            with self._structure.write():
+                with self._stripe(key).write():
+                    acquired = self._clock() if self._obs_enabled else None
+                    self._mutate(lambda: self._store.delete(key), started, 1)
+                    if self._obs_enabled:
+                        self._observe_command("delete", started, acquired)
 
     def put_many(self, items: Iterable[tuple[Hashable, object]]) -> int:
         materialized = list(items)
-        started = self._clock() if self._latency is not None else 0.0
-        with self._structure.write():
-            with self._all_stripes():
-                return self._mutate(
-                    lambda: self._store.put_many(materialized), started, None
-                )
+        started = self._mutation_stamp()
+        with obs.span("service.put_many"):
+            with self._structure.write():
+                with self._all_stripes():
+                    acquired = self._clock() if self._obs_enabled else None
+                    try:
+                        return self._mutate(
+                            lambda: self._store.put_many(materialized),
+                            started,
+                            None,
+                        )
+                    finally:
+                        if self._obs_enabled:
+                            self._observe_command("put_many", started, acquired)
 
     def delete_many(self, keys: Iterable[Hashable]) -> int:
         materialized = list(keys)
-        started = self._clock() if self._latency is not None else 0.0
-        with self._structure.write():
-            with self._all_stripes():
-                return self._mutate(
-                    lambda: self._store.delete_many(materialized), started, None
-                )
+        started = self._mutation_stamp()
+        with obs.span("service.delete_many"):
+            with self._structure.write():
+                with self._all_stripes():
+                    acquired = self._clock() if self._obs_enabled else None
+                    try:
+                        return self._mutate(
+                            lambda: self._store.delete_many(materialized),
+                            started,
+                            None,
+                        )
+                    finally:
+                        if self._obs_enabled:
+                            self._observe_command(
+                                "delete_many", started, acquired
+                            )
 
     def _mutate(self, action, started: float, operations: int | None):
         """Run one mutation, recording moves + latency when tracking is on.
@@ -286,13 +369,21 @@ class StoreService:
         while that page materializes — the unit of writer exclusion is a
         page, not the whole interval.
         """
+        started = self._clock() if self._obs_enabled else 0.0
         with self._structure.read():
-            return list(self._store.range(low, high, limit=limit, after=after))
+            page = list(self._store.range(low, high, limit=limit, after=after))
+        if self._obs_enabled:
+            self._observe_command("range_scan", started)
+        return page
 
     def count_range(self, low, high) -> int:
         """Number of keys in ``[low, high]`` (rank arithmetic, no scan)."""
+        started = self._clock() if self._obs_enabled else 0.0
         with self._structure.read():
-            return self._store.count_range(low, high)
+            count = self._store.count_range(low, high)
+        if self._obs_enabled:
+            self._observe_command("count_range", started)
+        return count
 
     def scan_pages(self, low=None, high=None, *, page_size: int = 256):
         """Yield the interval as pages, releasing the lock between pages.
@@ -365,11 +456,10 @@ class StoreService:
             "p99": self._latency.percentile(0.99),
             "p999": self._latency.percentile(0.999),
         }
+        # latency_summary() is the single naming point for latency keys:
+        # canonical per-operation (latency_p*) and per-event
+        # (latency_event_*) names plus the historical aliases.
         stats.update(self._latency.latency_summary())
-        if self._latency.latency_events:
-            stats["latency_event_p999"] = self._latency.event_latency_percentile(
-                0.999
-            )
         return stats
 
     # ------------------------------------------------------------------
@@ -387,6 +477,16 @@ class StoreService:
     def verify(self) -> dict:
         with self._structure.read():
             return self._store.verify()
+
+    def shard_statistics(self) -> dict[str, float]:
+        """Point-in-time labeler shard statistics (structure lock shared).
+
+        Empty for labelers that do not expose
+        :meth:`~repro.core.sharded.ShardedLabeler.shard_statistics`.
+        """
+        with self._structure.read():
+            stats = getattr(self._store.labeler, "shard_statistics", None)
+            return dict(stats()) if callable(stats) else {}
 
     # ------------------------------------------------------------------
     # Replication hooks (the networked server builds on these)
@@ -471,24 +571,29 @@ class StoreService:
         self._compactor_error = None
 
         def loop() -> None:
-            while not self._compactor_stop.wait(poll_seconds):
-                try:
-                    if (
-                        self._store.wal_frames_since_snapshot
-                        >= wal_frame_threshold
-                    ):
-                        lsn = self.compact()
-                        if on_compact is not None:
-                            on_compact(lsn)
-                except Exception as error:
-                    self._compactor_error = error
-                    if on_error is not None:
-                        try:
-                            on_error(error)
-                        except Exception:
-                            # A broken error hook must not kill the loop
-                            # the hook exists to keep observable.
-                            pass
+            self._obs_compactor_alive.set(1)
+            try:
+                while not self._compactor_stop.wait(poll_seconds):
+                    try:
+                        if (
+                            self._store.wal_frames_since_snapshot
+                            >= wal_frame_threshold
+                        ):
+                            lsn = self.compact()
+                            if on_compact is not None:
+                                on_compact(lsn)
+                    except Exception as error:
+                        self._compactor_error = error
+                        self._obs_compactor_errors.inc()
+                        if on_error is not None:
+                            try:
+                                on_error(error)
+                            except Exception:
+                                # A broken error hook must not kill the loop
+                                # the hook exists to keep observable.
+                                pass
+            finally:
+                self._obs_compactor_alive.set(0)
 
         self._compactor = threading.Thread(
             target=loop, name="repro-store-compactor", daemon=True

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Hashable, Iterable, Iterator
 
+from repro import obs
 from repro.applications.ordered_map import PackedMemoryMap
 from repro.core.interface import ListLabeler
 from repro.store import snapshot as snapshot_io
@@ -104,6 +105,7 @@ class DurableStore:
         sync_policy: str = "always",
         compact_every: int | None = None,
         snapshot_keep: int = 2,
+        registry=None,
     ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -121,13 +123,23 @@ class DurableStore:
             self._shard_factory = shard_factory
             self.compact_every = compact_every
             self.snapshot_keep = max(1, snapshot_keep)
+            self.obs = obs.resolve(registry)
+            self._obs_snapshots = self.obs.counter("store.snapshots")
+            self._obs_compactions = self.obs.counter("store.compactions")
+            self._obs_recoveries = self.obs.counter("store.recoveries")
+            self._obs_replayed = self.obs.counter("store.recovery.frames_replayed")
             self._map = PackedMemoryMap(
                 capacity=None,
                 labeler_factory=shard_factory,
                 shard_capacity=self.shard_capacity,
             )
+            attach = getattr(self._map.labeler, "set_registry", None)
+            if callable(attach):
+                attach(self.obs)
             self._wal = WriteAheadLog(
-                self.directory / WAL_FILENAME, sync_policy=sync_policy
+                self.directory / WAL_FILENAME,
+                sync_policy=sync_policy,
+                registry=self.obs,
             )
             self._frames_since_snapshot = 0
             self._last_snapshot_lsn = 0
@@ -271,6 +283,9 @@ class DurableStore:
             self._apply(frame["op"], frame)
             replayed += 1
         self._frames_since_snapshot = replayed
+        self._obs_recoveries.inc()
+        if replayed:
+            self._obs_replayed.inc(replayed)
         last_lsn = max(report.last_lsn, snapshot_lsn)
         horizon = self._horizon = self._read_horizon()
         if last_lsn < horizon:
@@ -313,6 +328,10 @@ class DurableStore:
     # Mutations (log first, then apply)
     # ------------------------------------------------------------------
     def _commit(self, op: str, payload: dict) -> None:
+        with obs.span("store.commit"):
+            self._commit_inner(op, payload)
+
+    def _commit_inner(self, op: str, payload: dict) -> None:
         offset = self._wal.tell()
         lsn = self._wal.append(op, payload)
         try:
@@ -483,17 +502,19 @@ class DurableStore:
         (a snapshot must never be newer than the durable log, or recovery
         after a crash could resurrect operations the log lost).
         """
-        self._wal.sync()
-        lsn = self.last_lsn
-        snapshot_io.write_snapshot(
-            self.directory,
-            lsn,
-            self._map.labeler.snapshot(),
-            self._values_by_shard(),
-        )
-        snapshot_io.prune_snapshots(self.directory, keep=self.snapshot_keep)
-        self._last_snapshot_lsn = lsn
-        self._frames_since_snapshot = 0
+        with obs.span("store.snapshot"):
+            self._wal.sync()
+            lsn = self.last_lsn
+            snapshot_io.write_snapshot(
+                self.directory,
+                lsn,
+                self._map.labeler.snapshot(),
+                self._values_by_shard(),
+            )
+            snapshot_io.prune_snapshots(self.directory, keep=self.snapshot_keep)
+            self._last_snapshot_lsn = lsn
+            self._frames_since_snapshot = 0
+            self._obs_snapshots.inc()
         return lsn
 
     def compact(self, *, retain_after: int | None = None) -> int:
@@ -519,18 +540,20 @@ class DurableStore:
         frame a recovery would choke on, and never develops an LSN gap
         between its tail and the next live append.
         """
-        lsn = self.snapshot()
-        cut = lsn if retain_after is None else max(0, min(lsn, retain_after))
-        self._write_horizon(cut)
-        report = self._wal.truncate_through(cut)
-        if report.suspect_reason is not None:
-            self._write_horizon(lsn)
-            full = self._wal.truncate_through(lsn)
-            full.suspect_reason = report.suspect_reason
-            full.suspect_frames = report.suspect_frames
-            full.suspect_bytes = report.suspect_bytes
-            report = full
-        self.last_truncate_report = report
+        with obs.span("store.compact"):
+            lsn = self.snapshot()
+            cut = lsn if retain_after is None else max(0, min(lsn, retain_after))
+            self._write_horizon(cut)
+            report = self._wal.truncate_through(cut)
+            if report.suspect_reason is not None:
+                self._write_horizon(lsn)
+                full = self._wal.truncate_through(lsn)
+                full.suspect_reason = report.suspect_reason
+                full.suspect_frames = report.suspect_frames
+                full.suspect_bytes = report.suspect_bytes
+                report = full
+            self.last_truncate_report = report
+            self._obs_compactions.inc()
         return lsn
 
     def _values_by_shard(self) -> list[list]:

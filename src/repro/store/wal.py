@@ -36,6 +36,7 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.store import codec
 
 #: Version stamped into every frame; bumped on incompatible layout changes.
@@ -81,7 +82,15 @@ class WALOpenReport:
 class WriteAheadLog:
     """One append-only JSONL log file plus its durability policy."""
 
-    def __init__(self, path: str | Path, *, sync_policy: str = "always") -> None:
+    # Inert class-level defaults: instances built without __init__ (crash
+    # tests hand-assembling a WAL via __new__) fall back to no-op
+    # instruments instead of AttributeError-ing on the hot path.
+    _obs_frames = _obs_bytes = _obs_fsyncs = obs.NULL_REGISTRY.counter("null")
+    _obs_truncations = _obs_torn_bytes = _obs_rollbacks = _obs_frames
+
+    def __init__(
+        self, path: str | Path, *, sync_policy: str = "always", registry=None
+    ) -> None:
         if sync_policy not in ("always", "batch", "never"):
             raise ValueError(f"unknown sync policy {sync_policy!r}")
         self.path = Path(path)
@@ -90,6 +99,15 @@ class WriteAheadLog:
         self._next_lsn = 1
         self._listeners: list = []
         self._truncate_epoch = 0
+        reg = obs.resolve(registry)
+        self._obs_frames = reg.counter("wal.frames_appended")
+        self._obs_bytes = reg.counter("wal.bytes_appended")
+        # Fsyncs keyed by the policy that caused them, so an exposition
+        # shows at a glance which durability mode the process is paying for.
+        self._obs_fsyncs = reg.counter(f"wal.fsyncs.{sync_policy}")
+        self._obs_truncations = reg.counter("wal.truncations")
+        self._obs_torn_bytes = reg.counter("wal.torn_tail_bytes")
+        self._obs_rollbacks = reg.counter("wal.rollbacks")
 
     # ------------------------------------------------------------------
     # Opening and torn-tail recovery
@@ -128,6 +146,7 @@ class WriteAheadLog:
             good_end = len(raw)
         if good_end < len(raw):
             report.truncated_bytes = len(raw) - good_end
+            self._obs_torn_bytes.inc(report.truncated_bytes)
             with open(self.path, "r+b") as handle:
                 handle.truncate(good_end)
                 handle.flush()
@@ -179,19 +198,22 @@ class WriteAheadLog:
         """Write one frame; returns its LSN.  Fsyncs per the sync policy."""
         if self._file is None:
             raise WALError("log is not open")
-        frame = {"v": WAL_SCHEMA_VERSION, "lsn": self._next_lsn, "op": op}
-        frame.update(codec.encode(payload))
-        body = json.dumps(frame, sort_keys=True, separators=(",", ":"))
-        frame["crc"] = codec.checksum(body)
-        self._file.write(
-            json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n"
-        )
-        self._file.flush()
-        if self.sync_policy == "always":
-            os.fsync(self._file.fileno())
-        lsn = self._next_lsn
-        self._next_lsn += 1
-        self._notify(lsn)
+        with obs.span("wal.append"):
+            frame = {"v": WAL_SCHEMA_VERSION, "lsn": self._next_lsn, "op": op}
+            frame.update(codec.encode(payload))
+            body = json.dumps(frame, sort_keys=True, separators=(",", ":"))
+            frame["crc"] = codec.checksum(body)
+            line = json.dumps(frame, sort_keys=True, separators=(",", ":")) + "\n"
+            self._file.write(line)
+            self._file.flush()
+            if self.sync_policy == "always":
+                os.fsync(self._file.fileno())
+                self._obs_fsyncs.inc()
+            self._obs_frames.inc()
+            self._obs_bytes.inc(len(line))
+            lsn = self._next_lsn
+            self._next_lsn += 1
+            self._notify(lsn)
         return lsn
 
     def append_frame_line(self, line: str) -> dict:
@@ -222,6 +244,9 @@ class WriteAheadLog:
         self._file.flush()
         if self.sync_policy == "always":
             os.fsync(self._file.fileno())
+            self._obs_fsyncs.inc()
+        self._obs_frames.inc()
+        self._obs_bytes.inc(len(line))
         lsn = self._next_lsn
         self._next_lsn += 1
         self._notify(lsn)
@@ -316,6 +341,8 @@ class WriteAheadLog:
         self._file.flush()
         if self.sync_policy != "never":
             os.fsync(self._file.fileno())
+            self._obs_fsyncs.inc()
+        self._obs_rollbacks.inc()
         self._next_lsn = lsn
         # Cached read_frames offsets may point past (or into) the retracted
         # bytes; invalidate them like a compaction rewrite would.
@@ -332,6 +359,7 @@ class WriteAheadLog:
         if self._file is not None and self.sync_policy != "never":
             self._file.flush()
             os.fsync(self._file.fileno())
+            self._obs_fsyncs.inc()
 
     # ------------------------------------------------------------------
     # Compaction support
@@ -393,6 +421,7 @@ class WriteAheadLog:
         _fsync_directory(self.path.parent)
         self._file = open(self.path, "a", encoding="utf-8")
         self._truncate_epoch += 1
+        self._obs_truncations.inc()
         report.retained_frames = len(retained)
         return report
 
