@@ -1,14 +1,18 @@
-"""Wire-speed experiment: the slab physical array vs the seed reference.
+"""Wire-speed experiment: every physical-array backend vs the seed reference.
 
 Replays identical recorded physical traces (insert-heavy embedding traffic
 and sparse chain moves — see :mod:`repro.perf.scenarios`) on the
-slab-backed :class:`repro.core.physical.PhysicalArray` and on the seed's
-:class:`repro.core.physical_reference.ReferencePhysicalArray`, then checks
-the two claims the committed ``BENCH_core.json`` baseline records:
+slab-backed :class:`repro.core.physical.PhysicalArray`, the seed's
+:class:`repro.core.physical_reference.ReferencePhysicalArray`, and — when
+numpy is importable — the bitboard
+:class:`repro.core.physical_vector.VectorPhysicalArray`, then checks the
+claims the committed ``BENCH_core.json`` baseline records:
 
-* move logs are bit-identical (a hard assertion at every size), and
-* the slab backend wins on wall-clock — ≥ 1.5× on the insert-heavy
-  scenario at real size, and by a wide margin on sparse chain moves
+* move logs are bit-identical across every backend (a hard assertion at
+  every size), and
+* the rewrites win on wall-clock — slab ≥ 1.5× over the reference on the
+  insert-heavy scenario at real size, vector ≥ 2× over slab on the same
+  trace, and the select-walk by a wide margin on sparse chain moves
   (shape claims, demoted to notes in quick mode where constant factors
   dominate).
 """
@@ -17,25 +21,48 @@ from __future__ import annotations
 
 from benchmarks.conftest import emit, expect, scaled
 
+from repro.core.physical_backends import vector_available
 from repro.perf.scenarios import run_chain_sparse, run_insert_heavy
+
+
+def backend_rows(scenario, n, metrics):
+    """One table row per backend present in a scenario's metrics."""
+    rows = [
+        {
+            "scenario": scenario,
+            "backend": "reference",
+            "n": n,
+            "elapsed_s": metrics["reference_elapsed_seconds"],
+            "speedup_vs_ref": 1.0,
+        },
+        {
+            "scenario": scenario,
+            "backend": "slab",
+            "n": n,
+            "elapsed_s": metrics["elapsed_seconds"],
+            "speedup_vs_ref": metrics["speedup"],
+        },
+    ]
+    if "vector_elapsed_seconds" in metrics:
+        rows.append(
+            {
+                "scenario": scenario,
+                "backend": "vector",
+                "n": n,
+                "elapsed_s": metrics["vector_elapsed_seconds"],
+                "speedup_vs_ref": metrics["vector_speedup"],
+            }
+        )
+    return rows
 
 
 def test_wire_speed_insert_heavy(run_once):
     n = scaled(4096)
     metrics = run_once(lambda: run_insert_heavy(n, seed=20260730))
     emit(
-        "E-WIRE: slab vs reference physical array, insert-heavy trace",
-        [
-            {
-                "scenario": "insert_heavy",
-                "n": n,
-                "trace_ops": metrics["trace_ops"],
-                "moves": metrics["moves"],
-                "slab_s": metrics["elapsed_seconds"],
-                "reference_s": metrics["reference_elapsed_seconds"],
-                "speedup": metrics["speedup"],
-            }
-        ],
+        "E-WIRE: physical-array backends, insert-heavy trace "
+        f"(trace_ops={metrics['trace_ops']}, moves={metrics['moves']})",
+        backend_rows("insert_heavy", n, metrics),
     )
     assert metrics["moves_match"], "slab and reference move logs diverged"
     assert metrics["moves"] == metrics["reference_moves"]
@@ -44,25 +71,31 @@ def test_wire_speed_insert_heavy(run_once):
         f"slab speedup {metrics['speedup']:.2f}x < 1.5x on insert-heavy "
         f"(n={n})",
     )
+    if vector_available():
+        assert metrics["vector_matches_slab"], (
+            "vector and slab move logs diverged"
+        )
+        assert metrics["vector_moves"] == metrics["moves"]
+        expect(
+            metrics["vector_vs_slab_speedup"] >= 2.0,
+            f"vector speedup {metrics['vector_vs_slab_speedup']:.2f}x < 2x "
+            f"over slab on insert-heavy (n={n})",
+        )
 
 
 def test_wire_speed_chain_sparse(run_once):
     n = scaled(2048)
     metrics = run_once(lambda: run_chain_sparse(n, seed=20260730))
     emit(
-        "E-WIRE: chain moves across a sparse array (select-walk vs scan)",
-        [
-            {
-                "scenario": "chain_sparse",
-                "n": n,
-                "chains": metrics["operations"],
-                "slab_s": metrics["elapsed_seconds"],
-                "reference_s": metrics["reference_elapsed_seconds"],
-                "speedup": metrics["speedup"],
-            }
-        ],
+        "E-WIRE: chain moves across a sparse array (select-walk vs scan, "
+        f"chains={metrics['operations']})",
+        backend_rows("chain_sparse", n, metrics),
     )
     assert metrics["moves_match"], "slab and reference move logs diverged"
+    if vector_available():
+        assert metrics["vector_matches_slab"], (
+            "vector and slab move logs diverged"
+        )
     expect(
         metrics["speedup"] >= 2.0,
         f"select-walk speedup {metrics['speedup']:.2f}x < 2x on the sparse "

@@ -63,9 +63,20 @@ class Embedding(ListLabeler):
         reliable_expected_cost: int | None = None,
         rebuild_work_factor: float = 1.0,
         physical_factory: PhysicalFactory | None = None,
+        physical_backend: str | None = None,
     ) -> None:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
+        if physical_factory is None:
+            # Deferred import: physical_backends imports the optional vector
+            # module, which this core module must not force at import time.
+            from repro.core.physical_backends import resolve_physical_factory
+
+            physical_factory = resolve_physical_factory(physical_backend)
+        elif physical_backend is not None:
+            raise ValueError(
+                "pass physical_factory or physical_backend, not both"
+            )
         if num_slots is None:
             f_slots = max(capacity + 1, int(math.ceil((1.0 + epsilon) * capacity)))
             buffer_slots = max(2, int(math.ceil(epsilon * capacity)))
@@ -109,7 +120,7 @@ class Embedding(ListLabeler):
             lemma7_floor, int(math.ceil(rebuild_work_factor * self.e_r))
         )
 
-        self._physical = (physical_factory or PhysicalArray)(num_slots)
+        self._physical = physical_factory(num_slots)
         self._shell = RShell(
             reliable_factory,
             f_slots=f_slots,
@@ -132,6 +143,13 @@ class Embedding(ListLabeler):
     @property
     def physical(self) -> PhysicalArray:
         return self._physical
+
+    @property
+    def physical_backend(self) -> str:
+        """Registry name of the physical-array backend in use."""
+        from repro.core.physical_backends import backend_name_of
+
+        return backend_name_of(self._physical)
 
     @property
     def emulator(self) -> FEmulator:

@@ -46,17 +46,28 @@ from __future__ import annotations
 from array import array
 from typing import Callable, Hashable, Iterable, Iterator, Sequence
 
+from repro import obs
 from repro.core.exceptions import InvariantViolation
 from repro.core.fenwick import PackedFenwick
 from repro.core.operations import Move, MoveRecorder
+from repro.core.physical_kinds import (
+    BIT_DUMMY as _BIT_DUMMY,
+    BIT_F as _BIT_F,
+    BIT_NONEMPTY as _BIT_NONEMPTY,
+    BIT_REAL as _BIT_REAL,
+    BUFFER,
+    F_SLOT,
+    KIND_MASKS as _KIND_MASKS,
+    KIND_NAMES,
+    LANE_DUMMY as _LANE_DUMMY,
+    LANE_F as _LANE_F,
+    LANE_NONEMPTY as _LANE_NONEMPTY,
+    LANE_REAL as _LANE_REAL,
+    MASK_KIND as _MASK_KIND,
+    R_EMPTY,
+    mask_for as _mask_for,
+)
 from repro.core.physical_reference import ReferencePhysicalArray
-
-#: Slot kinds (Figure 1 colour coding).
-R_EMPTY = 0
-F_SLOT = 1
-BUFFER = 2
-
-KIND_NAMES = {R_EMPTY: "r-empty", F_SLOT: "f-slot", BUFFER: "buffer"}
 
 __all__ = [
     "BUFFER",
@@ -65,50 +76,6 @@ __all__ = [
     "PhysicalArray",
     "R_EMPTY",
     "ReferencePhysicalArray",
-]
-
-# ---------------------------------------------------------------------------
-# Packed slot state: one bit per Fenwick lane.
-# ---------------------------------------------------------------------------
-_LANE_F = 0         # kind == F_SLOT
-_LANE_NONEMPTY = 1  # kind != R_EMPTY
-_LANE_REAL = 2      # element present
-_LANE_DUMMY = 3     # kind == BUFFER and no element
-
-_BIT_F = 1 << _LANE_F
-_BIT_NONEMPTY = 1 << _LANE_NONEMPTY
-_BIT_REAL = 1 << _LANE_REAL
-_BIT_DUMMY = 1 << _LANE_DUMMY
-
-
-def _mask_for(kind: int, has_element: bool) -> int:
-    """The packed state bits of a slot of ``kind`` (mirrors the seed's four
-    ``_refresh_indexes`` predicates exactly, including the degenerate
-    element-in-R-empty-slot state that only :meth:`check_consistency`
-    rejects)."""
-    if kind == F_SLOT:
-        mask = _BIT_F | _BIT_NONEMPTY
-    elif kind == BUFFER:
-        mask = _BIT_NONEMPTY
-    else:
-        mask = 0
-    if has_element:
-        mask |= _BIT_REAL
-    elif kind == BUFFER:
-        mask |= _BIT_DUMMY
-    return mask
-
-
-#: ``_KIND_MASKS[kind][has_element]`` — precomputed state bits.
-_KIND_MASKS = [
-    (_mask_for(kind, False), _mask_for(kind, True))
-    for kind in (R_EMPTY, F_SLOT, BUFFER)
-]
-
-#: ``_MASK_KIND[mask]`` — slot kind recovered from the packed state.
-_MASK_KIND = [
-    F_SLOT if mask & _BIT_F else (BUFFER if mask & _BIT_NONEMPTY else R_EMPTY)
-    for mask in range(16)
 ]
 
 #: Spans at most this wide are scanned directly in :meth:`chain_positions`;
@@ -120,6 +87,10 @@ _CHAIN_SCAN_CUTOFF = 64
 
 class PhysicalArray:
     """The embedding's array ``A`` with slot kinds, contents, and indexes."""
+
+    # Defaults so instances materialized without ``__init__`` (object graphs
+    # rebuilt via ``__new__``) never trip on missing observability state.
+    _obs_enabled = False
 
     def __init__(self, num_slots: int) -> None:
         self._m = num_slots
@@ -142,6 +113,15 @@ class PhysicalArray:
         #: Per-element count of deadweight moves (Lemma 5 accounting).
         self.deadweight_by_element: dict[Hashable, int] = {}
         self.total_deadweight_moves = 0
+        reg = obs.get_registry()
+        if reg.enabled:
+            self._obs_enabled = True
+            self._obs_chain_moves = reg.counter("physical.chain_moves")
+            self._obs_shell_moves = reg.counter("physical.shell_moves")
+            self._obs_relabel_flips = reg.counter("physical.relabel_flips")
+            # Index into PHYSICAL_BACKENDS: 0=reference, 1=slab, 2=vector
+            # (the reference backend stays seed-pure and never reports).
+            reg.gauge("physical.backend").set(1.0)
 
     # ------------------------------------------------------------------
     # Interning
@@ -213,6 +193,10 @@ class PhysicalArray:
     def position_of_rank(self, rank: int) -> int:
         """Physical position of the ``rank``-th (1-based) stored element."""
         return self._fen.select(_LANE_REAL, rank)
+
+    def elements_at_ranks(self, ranks: Iterable[int]) -> list[Hashable]:
+        """Batched :meth:`element_at_rank` — one answer per requested rank."""
+        return [self.element_at_rank(rank) for rank in ranks]
 
     def iter_elements_from(self, rank: int) -> Iterator[Hashable]:
         """Lazily yield the stored elements of ranks ``rank, rank+1, …``.
@@ -433,6 +417,8 @@ class PhysicalArray:
         of *real element* moves incurred (the embedding's cost for the
         replayed work — dummy and free slots move for free).
         """
+        if self._obs_enabled:
+            self._obs_shell_moves.inc()
         cost = 0
         lifted: dict[Hashable, tuple[int, Hashable | None]] = {}
         fen = self._fen
@@ -548,6 +534,8 @@ class PhysicalArray:
             raise InvariantViolation(
                 f"target F-slot {target_f_index} (position {target_pos}) is occupied"
             )
+        if self._obs_enabled:
+            self._obs_chain_moves.inc()
 
         # Short dense chains (the steady-state fast-path moves) are cheapest
         # as one direct slab sweep; long chains take the Fenwick-guided path
@@ -608,10 +596,14 @@ class PhysicalArray:
         else:
             f_positions = set(others[len(others) - (f_count - 1):])
         f_positions.add(element_pos)
+        flips = 0
         for position in chain:
             desired = F_SLOT if position in f_positions else BUFFER
             if _MASK_KIND[masks[position]] != desired:
                 self.set_kind(position, desired)
+                flips += 1
+        if self._obs_enabled and flips:
+            self._obs_relabel_flips.inc(flips)
         return cost
 
     def _chain_move_right(self, source: int, target_pos: int) -> int:
@@ -738,23 +730,30 @@ class PhysicalArray:
                 else hi + 1
             )
             b_lo, b_hi = lo, f_lo - 1
+        flips = 0
         if f_lo <= f_hi:
             # Buffer-kind slots inside the all-F interval flip to F: the
             # empty ones are exactly the dummy-lane hits, the occupied ones
             # are checked against the post-move element positions.
             for position in fen.select_range(_LANE_DUMMY, f_lo, f_hi):
                 self.set_kind(position, F_SLOT)
+                flips += 1
             for position in occupied:
                 if f_lo <= position <= f_hi and not masks[position] & _BIT_F:
                     self.set_kind(position, F_SLOT)
+                    flips += 1
         if extra is not None and not masks[extra] & _BIT_F:
             self.set_kind(extra, F_SLOT)
+            flips += 1
         if b_lo <= b_hi:
             # Stray F-labels outside the interval flip to buffer (the moved
             # element's slot excepted — it just received the target label).
             for position in fen.select_range(_LANE_F, b_lo, b_hi):
                 if position != extra:
                     self.set_kind(position, BUFFER)
+                    flips += 1
+        if self._obs_enabled and flips:
+            self._obs_relabel_flips.inc(flips)
 
     # ------------------------------------------------------------------
     # Validation

@@ -1,0 +1,134 @@
+"""Named registry of the embedding's physical-array backends.
+
+Three interchangeable implementations of the shared array ``A`` exist —
+``reference`` (:class:`repro.core.physical_reference.ReferencePhysicalArray`,
+the seed oracle), ``slab`` (:class:`repro.core.physical.PhysicalArray`, the
+packed-Fenwick rewrite and the no-dependency default) and ``vector``
+(:class:`repro.core.physical_vector.VectorPhysicalArray`, numpy bitboards).
+All three produce bit-identical move logs; they differ only in speed, so
+backend selection is a deployment knob, not a semantic one.
+
+Selection precedence, mirroring the store's other knobs:
+
+1. an explicit ``physical_backend=`` argument (or a direct
+   ``physical_factory=`` callable, which bypasses this module entirely);
+2. the ``REPRO_PHYSICAL_BACKEND`` environment variable;
+3. the ``slab`` default.
+
+The ``vector`` backend needs numpy.  Asking for it *explicitly* without
+numpy raises immediately with the underlying import error — silent
+downgrades on an explicit request hide real misconfiguration.  Asking via
+the *environment variable* degrades gracefully: one warning, then the slab
+backend, so a fleet-wide ``REPRO_PHYSICAL_BACKEND=vector`` rollout cannot
+brick hosts whose image lacks numpy.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Callable
+
+from repro.core.physical import PhysicalArray
+from repro.core.physical_reference import ReferencePhysicalArray
+
+__all__ = [
+    "DEFAULT_PHYSICAL_BACKEND",
+    "PHYSICAL_BACKEND_ENV_VAR",
+    "PHYSICAL_BACKENDS",
+    "available_physical_backends",
+    "backend_name_of",
+    "resolve_physical_factory",
+    "vector_available",
+]
+
+#: Environment variable consulted when no explicit backend is passed.
+PHYSICAL_BACKEND_ENV_VAR = "REPRO_PHYSICAL_BACKEND"
+
+#: The no-dependency default.
+DEFAULT_PHYSICAL_BACKEND = "slab"
+
+#: Every recognized backend name (not all necessarily importable here).
+PHYSICAL_BACKENDS = ("reference", "slab", "vector")
+
+_VECTOR_IMPORT_ERROR: str | None
+try:
+    from repro.core.physical_vector import VectorPhysicalArray
+except ImportError as exc:  # pragma: no cover - exercised via fallback tests
+    VectorPhysicalArray = None  # type: ignore[assignment]
+    _VECTOR_IMPORT_ERROR = str(exc)
+else:
+    _VECTOR_IMPORT_ERROR = None
+
+
+def vector_available() -> bool:
+    """Whether the numpy-backed ``vector`` backend imported successfully."""
+    return VectorPhysicalArray is not None
+
+
+def available_physical_backends() -> tuple[str, ...]:
+    """The backend names usable in this interpreter, in registry order."""
+    return tuple(
+        name
+        for name in PHYSICAL_BACKENDS
+        if name != "vector" or VectorPhysicalArray is not None
+    )
+
+
+def resolve_physical_factory(
+    backend: str | None = None,
+) -> Callable[[int], PhysicalArray]:
+    """``num_slots -> physical array`` factory for ``backend``.
+
+    ``backend=None`` consults :data:`PHYSICAL_BACKEND_ENV_VAR`, then falls
+    back to :data:`DEFAULT_PHYSICAL_BACKEND`.  See the module docstring for
+    the numpy-missing semantics (explicit request raises, environment
+    request warns and degrades to ``slab``).
+    """
+    from_env = False
+    if backend is None:
+        backend = os.environ.get(PHYSICAL_BACKEND_ENV_VAR) or None
+        from_env = backend is not None
+    if backend is None:
+        backend = DEFAULT_PHYSICAL_BACKEND
+    if backend not in PHYSICAL_BACKENDS:
+        raise ValueError(
+            f"unknown physical backend {backend!r} (recognized: "
+            f"{', '.join(PHYSICAL_BACKENDS)})"
+        )
+    if backend == "reference":
+        return ReferencePhysicalArray
+    if backend == "vector":
+        if VectorPhysicalArray is None:
+            if from_env:
+                warnings.warn(
+                    f"{PHYSICAL_BACKEND_ENV_VAR}=vector requested but numpy "
+                    f"is unavailable ({_VECTOR_IMPORT_ERROR}); falling back "
+                    f"to the {DEFAULT_PHYSICAL_BACKEND!r} backend",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return PhysicalArray
+            raise RuntimeError(
+                "physical backend 'vector' requires numpy "
+                f"({_VECTOR_IMPORT_ERROR}); install numpy (pip install "
+                "repro[vector]) or select the 'slab' backend"
+            )
+        return VectorPhysicalArray
+    return PhysicalArray
+
+
+def backend_name_of(array: object) -> str:
+    """The registry name of the backend ``array`` was built by.
+
+    Subclasses map to their base backend (``TracingPhysicalArray`` — a
+    :class:`PhysicalArray` subclass used by the perf tracer — reports as
+    ``slab``); anything unrecognized reports as its class name.
+    """
+    if VectorPhysicalArray is not None and isinstance(array, VectorPhysicalArray):
+        return "vector"
+    if isinstance(array, ReferencePhysicalArray):
+        return "reference"
+    if isinstance(array, PhysicalArray):
+        return "slab"
+    return type(array).__name__

@@ -26,14 +26,7 @@ from typing import Callable, Hashable, Iterable, Sequence
 from repro.core.exceptions import InvariantViolation
 from repro.core.fenwick import FenwickTree
 from repro.core.operations import Move
-
-#: Slot kinds (Figure 1 colour coding) — same values as
-#: :mod:`repro.core.physical`, duplicated so this module never imports it
-#: (the fast module re-exports this class, and a two-way import would be
-#: order-dependent).
-R_EMPTY = 0
-F_SLOT = 1
-BUFFER = 2
+from repro.core.physical_kinds import BUFFER, F_SLOT, R_EMPTY
 
 
 class ReferencePhysicalArray:
@@ -101,6 +94,10 @@ class ReferencePhysicalArray:
     def position_of_rank(self, rank: int) -> int:
         """Physical position of the ``rank``-th (1-based) stored element."""
         return self._fen_real.select(rank)
+
+    def elements_at_ranks(self, ranks: Iterable[int]) -> list[Hashable]:
+        """Batched :meth:`element_at_rank` — one answer per requested rank."""
+        return [self.element_at_rank(rank) for rank in ranks]
 
     def iter_elements_from(self, rank: int):
         """Lazily yield the stored elements of ranks ``rank, rank+1, …``.

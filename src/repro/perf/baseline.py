@@ -100,7 +100,7 @@ TRAJECTORY_LIMIT = 200
 #: Metrics measured in element moves — the paper's cost model, and the only
 #: numbers the comparator treats as hard regressions.
 MOVE_METRICS = frozenset(
-    {"moves", "reference_moves", "total_moves", "restructure_moves"}
+    {"moves", "reference_moves", "vector_moves", "total_moves", "restructure_moves"}
 )
 
 #: Machine-dependent metrics: never compared strictly, stripped by the
@@ -109,10 +109,15 @@ WALL_CLOCK_METRICS = frozenset(
     {
         "elapsed_seconds",
         "reference_elapsed_seconds",
+        "vector_elapsed_seconds",
         "recovery_elapsed_seconds",
         "full_recovery_elapsed_seconds",
         "speedup",
+        "vector_speedup",
+        "vector_vs_slab_speedup",
         "ops_per_second",
+        "reference_ops_per_second",
+        "vector_ops_per_second",
         "singleton_ops_per_second",
         "serial_ops_per_second",
         "parallel_ops_per_second",
@@ -123,12 +128,25 @@ WALL_CLOCK_METRICS = frozenset(
 )
 
 #: Wall-clock metrics where a *drop* (not a rise) signals degradation.
-_HIGHER_IS_BETTER = frozenset({"speedup", "ops_per_second"})
+_HIGHER_IS_BETTER = frozenset(
+    {
+        "speedup",
+        "vector_speedup",
+        "vector_vs_slab_speedup",
+        "ops_per_second",
+        "reference_ops_per_second",
+        "vector_ops_per_second",
+    }
+)
 
 #: Boolean correctness flags: anything but ``True`` in a fresh run is a
 #: hard failure, never a drift warning.
 _CORRECTNESS_FLAGS = {
     "moves_match": "slab and reference move logs diverged",
+    "vector_matches_slab": (
+        "vector backend diverged from the slab oracle (move logs or lookup "
+        "answers no longer bit-identical)"
+    ),
     "recovered_match": "recovered store diverged from the pre-crash state",
     "reads_match": "a verified read diverged from the reference model",
     "tail_inversion": (

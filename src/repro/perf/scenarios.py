@@ -12,9 +12,11 @@ metric dict.  Two invariants every scenario keeps:
   fields allowed to differ between runs, and the comparator only warns on
   them.
 
-The core scenarios replay one recorded physical trace on both the slab
-backend and the seed reference, so their ``speedup`` is an apples-to-apples
-measurement of the physical layer on identical work.
+The core scenarios replay one recorded physical trace on every available
+physical backend (seed reference, slab, and — when numpy is importable —
+the vector backend), so their ``speedup`` columns are apples-to-apples
+measurements of the physical layer on identical work, and
+``vector_matches_slab`` asserts bit-identical move logs across backends.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from typing import Callable
 
 from repro.core.operations import MoveRecorder, move_triples
 from repro.core.physical import BUFFER, F_SLOT, PhysicalArray, ReferencePhysicalArray
+from repro.core.physical_backends import vector_available
 from repro.perf.trace import (
     PhysicalTrace,
     TracingPhysicalArray,
@@ -56,7 +59,14 @@ class ScenarioSpec:
 # Core suite: physical-layer replays (slab vs reference)
 # ---------------------------------------------------------------------------
 def _timed_replays(trace: PhysicalTrace, num_slots: int) -> dict:
-    """Replay ``trace`` on both physical backends; time and cross-check."""
+    """Replay ``trace`` on every physical backend; time and cross-check.
+
+    The reference and slab backends always run; the vector backend rides
+    along whenever numpy is importable, adding its own ``vector_*``
+    wall-clock columns plus the hard-fail ``vector_matches_slab`` move-log
+    equality flag (all three backends must produce identical
+    ``(element, source, destination)`` logs).
+    """
     reference_elapsed = None
     for _ in range(_TIMING_REPEATS):
         array = ReferencePhysicalArray(num_slots)
@@ -82,8 +92,9 @@ def _timed_replays(trace: PhysicalTrace, num_slots: int) -> dict:
             slab_elapsed = elapsed
 
     reference_cost = sum(move.cost for move in sink)
-    return {
-        "trace_ops": len(trace),
+    ops = len(trace)
+    metrics = {
+        "trace_ops": ops,
         "num_slots": num_slots,
         "moves": recorder.total_cost,
         "reference_moves": reference_cost,
@@ -91,7 +102,45 @@ def _timed_replays(trace: PhysicalTrace, num_slots: int) -> dict:
         "elapsed_seconds": slab_elapsed,
         "reference_elapsed_seconds": reference_elapsed,
         "speedup": reference_elapsed / slab_elapsed if slab_elapsed else 0.0,
+        "ops_per_second": ops / slab_elapsed if slab_elapsed else 0.0,
+        "reference_ops_per_second": (
+            ops / reference_elapsed if reference_elapsed else 0.0
+        ),
     }
+
+    if vector_available():
+        from repro.core.physical_vector import VectorPhysicalArray
+
+        vector_elapsed = None
+        for _ in range(_TIMING_REPEATS):
+            array = VectorPhysicalArray(num_slots)
+            vector_recorder = MoveRecorder()
+            array.move_sink = vector_recorder
+            started = time.perf_counter()
+            replay_trace(trace, array)
+            elapsed = time.perf_counter() - started
+            array.move_sink = None
+            if vector_elapsed is None or elapsed < vector_elapsed:
+                vector_elapsed = elapsed
+        metrics.update(
+            {
+                "vector_moves": vector_recorder.total_cost,
+                "vector_matches_slab": (
+                    vector_recorder.triples() == recorder.triples()
+                ),
+                "vector_elapsed_seconds": vector_elapsed,
+                "vector_ops_per_second": (
+                    ops / vector_elapsed if vector_elapsed else 0.0
+                ),
+                "vector_speedup": (
+                    reference_elapsed / vector_elapsed if vector_elapsed else 0.0
+                ),
+                "vector_vs_slab_speedup": (
+                    slab_elapsed / vector_elapsed if vector_elapsed else 0.0
+                ),
+            }
+        )
+    return metrics
 
 
 def run_insert_heavy(n: int, seed: int) -> dict:
@@ -154,6 +203,118 @@ def run_chain_sparse(n: int, seed: int) -> dict:
     trace, num_slots, rounds = _record_chain_sparse_trace(n, seed)
     metrics = {"operations": rounds}
     metrics.update(_timed_replays(trace, num_slots))
+    return metrics
+
+
+#: Rank lookups per build operation and ranks per batch for the core
+#: point-lookup scenario below.
+_LOOKUPS_PER_OP = 8
+_LOOKUP_BATCH = 256
+
+
+def run_point_lookup_core(n: int, seed: int) -> dict:
+    """Batched rank lookups on the physical layer, per backend.
+
+    The physical-layer twin of the query suite's ``point_lookup_heavy``
+    (whose ClassicalPMA shards never touch a physical array): each backend
+    replays the same recorded insert-heavy embedding trace to an identical
+    populated state, then answers the same seeded stream of ``8·n``
+    rank→element lookups in batches of 256 through ``elements_at_ranks``.
+    The reference and slab backends pay one interpreted Fenwick select per
+    rank; the vector backend answers a whole batch with one masked
+    ``flatnonzero`` and one fancy-indexed gather.  Every backend's answer
+    stream — and the move log of the state-building replay — must be
+    identical: ``reads_match`` (slab vs reference) and
+    ``vector_matches_slab`` (vector vs slab) are hard-fail flags covering
+    both.
+    """
+    trace, num_slots = record_insert_heavy_trace(n, seed)
+    backends: list[tuple[str, Callable[[int], object]]] = [
+        ("reference", ReferencePhysicalArray),
+        ("slab", PhysicalArray),
+    ]
+    if vector_available():
+        from repro.core.physical_vector import VectorPhysicalArray
+
+        backends.append(("vector", VectorPhysicalArray))
+
+    lookups = _LOOKUPS_PER_OP * n
+    batches: list[list[int]] | None = None
+    element_count = None
+    answers: dict[str, list] = {}
+    timings: dict[str, float] = {}
+    move_logs: dict[str, tuple] = {}
+    move_counts: dict[str, int] = {}
+    for label, factory in backends:
+        array = factory(num_slots)
+        recorder = MoveRecorder()
+        array.move_sink = recorder
+        replay_trace(trace, array)
+        array.move_sink = None
+        move_logs[label] = tuple(recorder.triples())
+        move_counts[label] = len(move_logs[label])
+        if batches is None:
+            element_count = array.element_count
+            rng = random.Random(seed * 7919 + 11)
+            batches = [
+                [
+                    rng.randrange(1, element_count + 1)
+                    for _ in range(min(_LOOKUP_BATCH, lookups - start))
+                ]
+                for start in range(0, lookups, _LOOKUP_BATCH)
+            ]
+        best = None
+        for _ in range(_TIMING_REPEATS):
+            started = time.perf_counter()
+            result = [array.elements_at_ranks(ranks) for ranks in batches]
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+        answers[label] = result
+        timings[label] = best
+
+    slab_elapsed = timings["slab"]
+    reference_elapsed = timings["reference"]
+    metrics = {
+        "operations": lookups,
+        "trace_ops": len(trace),
+        "num_slots": num_slots,
+        "element_count": element_count,
+        "moves": move_counts["slab"],
+        "reference_moves": move_counts["reference"],
+        "reads_match": (
+            answers["slab"] == answers["reference"]
+            and move_logs["slab"] == move_logs["reference"]
+        ),
+        "elapsed_seconds": slab_elapsed,
+        "reference_elapsed_seconds": reference_elapsed,
+        "speedup": reference_elapsed / slab_elapsed if slab_elapsed else 0.0,
+        "ops_per_second": lookups / slab_elapsed if slab_elapsed else 0.0,
+        "reference_ops_per_second": (
+            lookups / reference_elapsed if reference_elapsed else 0.0
+        ),
+    }
+    if "vector" in answers:
+        vector_elapsed = timings["vector"]
+        metrics.update(
+            {
+                "vector_moves": move_counts["vector"],
+                "vector_matches_slab": (
+                    answers["vector"] == answers["slab"]
+                    and move_logs["vector"] == move_logs["slab"]
+                ),
+                "vector_elapsed_seconds": vector_elapsed,
+                "vector_ops_per_second": (
+                    lookups / vector_elapsed if vector_elapsed else 0.0
+                ),
+                "vector_speedup": (
+                    reference_elapsed / vector_elapsed if vector_elapsed else 0.0
+                ),
+                "vector_vs_slab_speedup": (
+                    slab_elapsed / vector_elapsed if vector_elapsed else 0.0
+                ),
+            }
+        )
     return metrics
 
 
@@ -1030,6 +1191,12 @@ CORE_SCENARIOS: dict[str, ScenarioSpec] = {
         ScenarioSpec("insert_heavy", quick_n=512, full_n=4096, run=run_insert_heavy),
         ScenarioSpec("mixed_churn", quick_n=512, full_n=2048, run=run_mixed_churn),
         ScenarioSpec("chain_sparse", quick_n=256, full_n=2048, run=run_chain_sparse),
+        ScenarioSpec(
+            "point_lookup_heavy",
+            quick_n=512,
+            full_n=4096,
+            run=run_point_lookup_core,
+        ),
     )
 }
 

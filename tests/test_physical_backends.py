@@ -1,0 +1,229 @@
+"""Backend registry tests: selection precedence, numpy fallback, reporting.
+
+The registry (`repro.core.physical_backends`) is the single place the
+``physical_backend=`` knob and the ``REPRO_PHYSICAL_BACKEND`` environment
+variable are interpreted; these tests pin its precedence rules, the
+numpy-missing semantics (explicit request raises, environment request
+warns and degrades to slab), and the end-to-end threading through
+``Embedding``, ``LayeredLabeler``, ``make_sharded_labeler``,
+``run_workload`` and ``DurableStore``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.algorithms import AdaptivePMA, ClassicalPMA, make_sharded_labeler
+from repro.analysis.runner import run_workload
+from repro.core import physical_backends as pb
+from repro.core.embedding import Embedding
+from repro.core.layered import make_corollary11_labeler
+from repro.core.physical import PhysicalArray
+from repro.core.physical_reference import ReferencePhysicalArray
+from repro.workloads.random_uniform import RandomWorkload
+
+AVAILABLE = pb.available_physical_backends()
+
+needs_vector = pytest.mark.skipif(
+    not pb.vector_available(), reason="numpy unavailable"
+)
+
+
+def build_embedding(capacity=8, **kwargs):
+    return Embedding(
+        capacity,
+        fast_factory=lambda cap, slots: AdaptivePMA(cap, slots),
+        reliable_factory=lambda cap, slots: ClassicalPMA(cap, slots),
+        **kwargs,
+    )
+
+
+class TestResolve:
+    def test_default_is_slab(self, monkeypatch):
+        monkeypatch.delenv(pb.PHYSICAL_BACKEND_ENV_VAR, raising=False)
+        assert pb.resolve_physical_factory(None) is PhysicalArray
+
+    def test_explicit_names(self):
+        assert pb.resolve_physical_factory("slab") is PhysicalArray
+        assert (
+            pb.resolve_physical_factory("reference") is ReferencePhysicalArray
+        )
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown physical backend"):
+            pb.resolve_physical_factory("bogus")
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(pb.PHYSICAL_BACKEND_ENV_VAR, "reference")
+        assert pb.resolve_physical_factory(None) is ReferencePhysicalArray
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(pb.PHYSICAL_BACKEND_ENV_VAR, "reference")
+        assert pb.resolve_physical_factory("slab") is PhysicalArray
+
+    def test_empty_env_var_means_default(self, monkeypatch):
+        monkeypatch.setenv(pb.PHYSICAL_BACKEND_ENV_VAR, "")
+        assert pb.resolve_physical_factory(None) is PhysicalArray
+
+    def test_bad_env_var_rejected(self, monkeypatch):
+        monkeypatch.setenv(pb.PHYSICAL_BACKEND_ENV_VAR, "turbo")
+        with pytest.raises(ValueError, match="unknown physical backend"):
+            pb.resolve_physical_factory(None)
+
+    @needs_vector
+    def test_vector_resolves_when_numpy_present(self):
+        from repro.core.physical_vector import VectorPhysicalArray
+
+        assert pb.resolve_physical_factory("vector") is VectorPhysicalArray
+        assert "vector" in AVAILABLE
+
+
+class TestNumpyMissing:
+    """Simulate a numpy-less interpreter by blanking the imported class."""
+
+    @pytest.fixture(autouse=True)
+    def _no_vector(self, monkeypatch):
+        monkeypatch.setattr(pb, "VectorPhysicalArray", None)
+        monkeypatch.setattr(
+            pb, "_VECTOR_IMPORT_ERROR", "No module named 'numpy'"
+        )
+
+    def test_explicit_vector_raises(self):
+        with pytest.raises(RuntimeError, match="requires numpy"):
+            pb.resolve_physical_factory("vector")
+
+    def test_env_vector_warns_and_degrades_to_slab(self, monkeypatch):
+        monkeypatch.setenv(pb.PHYSICAL_BACKEND_ENV_VAR, "vector")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            factory = pb.resolve_physical_factory(None)
+        assert factory is PhysicalArray
+
+    def test_vector_absent_from_available(self):
+        assert not pb.vector_available()
+        assert pb.available_physical_backends() == ("reference", "slab")
+
+    def test_embedding_still_builds_under_env_vector(self, monkeypatch):
+        monkeypatch.setenv(pb.PHYSICAL_BACKEND_ENV_VAR, "vector")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            embedding = build_embedding()
+        assert embedding.physical_backend == "slab"
+
+
+class TestBackendNameOf:
+    @pytest.mark.parametrize("name", AVAILABLE)
+    def test_round_trip(self, name):
+        factory = pb.resolve_physical_factory(name)
+        assert pb.backend_name_of(factory(8)) == name
+
+    def test_subclass_maps_to_base_backend(self):
+        from repro.perf.trace import TracingPhysicalArray
+
+        assert pb.backend_name_of(TracingPhysicalArray(8)) == "slab"
+
+    def test_foreign_object_reports_class_name(self):
+        assert pb.backend_name_of(object()) == "object"
+
+
+class TestThreading:
+    """The knob reaches every layer and is reported back out."""
+
+    @pytest.mark.parametrize("name", AVAILABLE)
+    def test_embedding(self, name):
+        embedding = build_embedding(physical_backend=name)
+        assert embedding.physical_backend == name
+        for rank in range(1, 9):
+            embedding.insert(rank, rank)
+        assert embedding.elements() == list(range(1, 9))
+
+    def test_embedding_rejects_both_knobs(self):
+        with pytest.raises(ValueError, match="not both"):
+            build_embedding(
+                physical_factory=PhysicalArray, physical_backend="slab"
+            )
+
+    @pytest.mark.parametrize("name", AVAILABLE)
+    def test_layered_and_sharded_report_backend(self, name):
+        labeler = make_sharded_labeler(
+            make_corollary11_labeler, shard_capacity=32, physical_backend=name
+        )
+        for rank in range(1, 25):
+            labeler.insert(rank, rank)
+        assert labeler.physical_backend == name
+        assert labeler.shard_statistics()["physical_backend"] == name
+        assert labeler.elements() == list(range(1, 25))
+
+    def test_non_physical_factory_rejected(self):
+        with pytest.raises(ValueError, match="physical_backend"):
+            make_sharded_labeler(
+                lambda capacity: ClassicalPMA(capacity),
+                physical_backend="slab",
+            )
+
+    @pytest.mark.parametrize("name", AVAILABLE)
+    def test_run_workload_summary(self, name):
+        workload = RandomWorkload(64, 128, seed=5)
+        labeler = make_corollary11_labeler(128, physical_backend=name)
+        result = run_workload(labeler, workload, validate_every=32)
+        assert result.summary()["physical_backend"] == name
+
+    @pytest.mark.parametrize("name", AVAILABLE)
+    def test_durable_store(self, name, tmp_path):
+        from repro.store.store import DurableStore
+
+        store = DurableStore(
+            tmp_path / "store",
+            algorithm="corollary11",
+            shard_capacity=32,
+            physical_backend=name,
+        )
+        try:
+            store.put_many([(1, 10), (2, 20)])
+            stats = store.labeler.shard_statistics()
+            assert stats["physical_backend"] == name
+        finally:
+            store.close()
+
+    def test_durable_store_rejects_backend_for_classical(self, tmp_path):
+        from repro.store.store import DurableStore
+
+        with pytest.raises(ValueError):
+            DurableStore(
+                tmp_path / "store",
+                algorithm="classical",
+                physical_backend="slab",
+            )
+
+    def test_recovery_across_backends(self, tmp_path):
+        """The knob is per-open: a store written under one backend recovers
+        under any other, bit-identically."""
+        from repro.store.store import DurableStore
+
+        path = tmp_path / "store"
+        store = DurableStore(
+            path,
+            algorithm="corollary11",
+            shard_capacity=32,
+            physical_backend=AVAILABLE[0],
+        )
+        items = [(key, key * 11) for key in range(1, 41)]
+        store.put_many(items)
+        expected = store.keys()
+        store.close()
+        for name in AVAILABLE[1:]:
+            reopened = DurableStore(
+                path,
+                algorithm="corollary11",
+                shard_capacity=32,
+                physical_backend=name,
+            )
+            try:
+                assert reopened.keys() == expected
+                assert (
+                    reopened.labeler.shard_statistics()["physical_backend"]
+                    == name
+                )
+            finally:
+                reopened.close()

@@ -1,8 +1,10 @@
-"""Differential trace tests: slab PhysicalArray vs ReferencePhysicalArray.
+"""Differential trace tests: every physical backend vs ReferencePhysicalArray.
 
 The contract fenced here is stronger than final-state equality: replaying a
-recorded workload trace on both implementations must produce the **same
-move log** — the same ``(element, source, destination)`` sequence — plus
+recorded workload trace on every implementation — the slab
+:class:`PhysicalArray` and, when numpy is importable, the bitboard
+:class:`VectorPhysicalArray` — must produce the **same move log** as the
+reference — the same ``(element, source, destination)`` sequence — plus
 identical slot kinds, contents, deadweight accounting, and index answers.
 Traces cover every physical primitive: embedding fast-path puts/moves,
 chain moves with deadweight (both directions, both the short-scan and the
@@ -24,55 +26,69 @@ from repro.core.physical import (
     PhysicalArray,
     ReferencePhysicalArray,
 )
+from repro.core.physical_backends import vector_available
 from repro.perf.scenarios import _record_chain_sparse_trace
 from repro.perf.trace import record_insert_heavy_trace, replay_trace
 
+CANDIDATES = {"slab": PhysicalArray}
+if vector_available():
+    from repro.core.physical_vector import VectorPhysicalArray
 
-def replay_on_both(trace, num_slots):
-    """Replay a trace on both implementations and return their artifacts."""
+    CANDIDATES["vector"] = VectorPhysicalArray
+
+
+def replay_on_all(trace, num_slots):
+    """Replay a trace on the reference and every candidate backend."""
     reference = ReferencePhysicalArray(num_slots)
     reference_sink: list = []
     reference.move_sink = reference_sink
     replay_trace(trace, reference)
     reference.move_sink = None
 
-    slab = PhysicalArray(num_slots)
-    recorder = MoveRecorder()
-    slab.move_sink = recorder
-    replay_trace(trace, slab)
-    slab.move_sink = None
-    return reference, reference_sink, slab, recorder
+    candidates = {}
+    for name, cls in CANDIDATES.items():
+        array = cls(num_slots)
+        recorder = MoveRecorder()
+        array.move_sink = recorder
+        replay_trace(trace, array)
+        array.move_sink = None
+        candidates[name] = (array, recorder)
+    return reference, reference_sink, candidates
 
 
-def assert_equivalent(reference, reference_sink, slab, recorder, *, ordered=True):
-    # Move-log equality: element, source, destination — order included.
-    assert move_triples(reference_sink) == recorder.triples()
-    assert sum(move.cost for move in reference_sink) == recorder.total_cost
-    # Full physical state.
-    assert reference.kinds() == slab.kinds()
-    assert reference.slots() == slab.slots()
-    assert reference.elements() == slab.elements()
-    # Cost accounting.
-    assert reference.total_deadweight_moves == slab.total_deadweight_moves
-    assert reference.deadweight_by_element == slab.deadweight_by_element
-    # Index answers.
-    assert reference.element_count == slab.element_count
-    assert reference.f_slot_count == slab.f_slot_count
-    assert reference.buffer_count == slab.buffer_count
-    assert reference.dummy_buffer_count == slab.dummy_buffer_count
-    for rank in range(1, reference.element_count + 1):
-        assert reference.element_at_rank(rank) == slab.element_at_rank(rank)
+def assert_equivalent(reference, reference_sink, candidates, *, ordered=True):
     if ordered:
         # Only workload traces keep elements physically sorted; the raw
         # primitive fuzz deliberately does not.
-        slab.check_consistency()
         reference.check_consistency()
+    ranks = list(range(1, reference.element_count + 1))
+    for name, (array, recorder) in candidates.items():
+        # Move-log equality: element, source, destination — order included.
+        assert move_triples(reference_sink) == recorder.triples(), name
+        assert sum(move.cost for move in reference_sink) == recorder.total_cost, name
+        # Full physical state.
+        assert list(reference.kinds()) == list(array.kinds()), name
+        assert list(reference.slots()) == list(array.slots()), name
+        assert reference.elements() == array.elements(), name
+        # Cost accounting.
+        assert reference.total_deadweight_moves == array.total_deadweight_moves, name
+        assert reference.deadweight_by_element == array.deadweight_by_element, name
+        # Index answers.
+        assert reference.element_count == array.element_count, name
+        assert reference.f_slot_count == array.f_slot_count, name
+        assert reference.buffer_count == array.buffer_count, name
+        assert reference.dummy_buffer_count == array.dummy_buffer_count, name
+        for rank in ranks:
+            assert reference.element_at_rank(rank) == array.element_at_rank(rank), name
+        assert reference.elements() == array.elements_at_ranks(ranks), name
+        if ordered:
+            array.check_consistency()
 
 
 @pytest.mark.parametrize("seed", [1, 7, 20260730])
 def test_embedding_insert_trace_is_move_identical(seed):
     trace, num_slots = record_insert_heavy_trace(192, seed)
-    assert_equivalent(*replay_on_both(trace, num_slots))
+    assert_equivalent(*replay_on_all(trace, num_slots))
 
 
 @pytest.mark.parametrize("seed", [3, 11])
@@ -86,7 +102,7 @@ def test_embedding_churn_trace_is_move_identical(seed):
     )
     ops = {op for op, _ in trace}
     assert "take" in ops and "chain" in ops
-    assert_equivalent(*replay_on_both(trace, num_slots))
+    assert_equivalent(*replay_on_all(trace, num_slots))
 
 
 def test_shell_replay_trace_is_move_identical():
@@ -96,14 +112,14 @@ def test_shell_replay_trace_is_move_identical():
         96, 5, reliable_expected_cost=1
     )
     assert any(op == "shell" for op, _ in trace)
-    assert_equivalent(*replay_on_both(trace, num_slots))
+    assert_equivalent(*replay_on_all(trace, num_slots))
 
 
 @pytest.mark.parametrize("seed", [2, 13])
 def test_sparse_chain_trace_is_move_identical(seed):
     trace, num_slots, _rounds = _record_chain_sparse_trace(256, seed)
     assert sum(1 for op, _ in trace if op == "chain") >= 8
-    assert_equivalent(*replay_on_both(trace, num_slots))
+    assert_equivalent(*replay_on_all(trace, num_slots))
 
 
 def test_random_primitive_soup_is_move_identical():
@@ -154,7 +170,7 @@ def test_random_primitive_soup_is_move_identical():
             position = occupied.pop(index)
             scratch.take_element(position)
             trace.append(("take", (position,)))
-    assert_equivalent(*replay_on_both(trace, num_slots), ordered=False)
+    assert_equivalent(*replay_on_all(trace, num_slots), ordered=False)
 
 
 class TestSparseChainPositions:
@@ -229,4 +245,4 @@ def test_degenerate_chain_fallback_relabel_is_identical(leftward):
     trace = [("init", (tuple(enumerate(kinds)),))]
     trace.extend(("put", (position, position, False)) for position in puts)
     trace.append(("chain", chain))
-    assert_equivalent(*replay_on_both(trace, m))
+    assert_equivalent(*replay_on_all(trace, m))

@@ -26,6 +26,8 @@ from hypothesis.stateful import (
 
 from repro.algorithms import ClassicalPMA
 from repro.applications.ordered_map import PackedMemoryMap
+from repro.core.layered import make_corollary11_labeler
+from repro.core.physical_backends import vector_available
 from repro.core.sharded import ShardedLabeler
 from repro.core.validation import check_labeler
 
@@ -381,6 +383,129 @@ class ParallelTwinMachine(RuleBasedStateMachine):
         self.pool.close()
 
 
+class VectorTwinMachine(RuleBasedStateMachine):
+    """Slab- and vector-backed labelers driven in lockstep stay bit-identical.
+
+    Both twins are sharded Corollary 11 labelers (embedding shards with a
+    physical array underneath) built with the same seed; only the
+    ``physical_backend`` differs.  Every rule applies the same drawn
+    operation to both and compares the move triples just produced; the
+    invariant compares labels, elements, per-shard physical slots and slot
+    kinds after every step, and runs the vector twin's full consistency
+    check — so the bitboard backend is fuzzed through split/merge
+    boundaries, not just replayed traces.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+
+        def shards(backend):
+            return ShardedLabeler(
+                lambda capacity: make_corollary11_labeler(
+                    capacity, seed=11, physical_backend=backend
+                ),
+                shard_capacity=SHARD_CAPACITY,
+            )
+
+        self.slab = shards("slab")
+        self.vector = shards("vector")
+        self.reference: list[Fraction] = []
+
+    def _compare(self, slab_result, vector_result):
+        from repro.core.operations import move_triples
+
+        slab_items = getattr(slab_result, "results", [slab_result])
+        vector_items = getattr(vector_result, "results", [vector_result])
+        assert len(slab_items) == len(vector_items)
+        for left, right in zip(slab_items, vector_items):
+            assert left.operation.kind == right.operation.kind
+            assert move_triples(left.moves) == move_triples(right.moves)
+
+    @rule(data=st.data())
+    def insert_one(self, data):
+        rank = data.draw(
+            st.integers(1, len(self.reference) + 1), label="insert rank"
+        )
+        key = _midpoint(self.reference, rank)
+        self._compare(self.slab.insert(rank, key), self.vector.insert(rank, key))
+        self.reference.insert(rank - 1, key)
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def delete_one(self, data):
+        rank = data.draw(st.integers(1, len(self.reference)), label="delete rank")
+        self._compare(self.slab.delete(rank), self.vector.delete(rank))
+        self.reference.pop(rank - 1)
+
+    @rule(data=st.data())
+    def insert_batch(self, data):
+        size = len(self.reference)
+        ranks = data.draw(
+            st.lists(st.integers(1, size + 1), min_size=1, max_size=12),
+            label="batch ranks (pre-batch)",
+        )
+        ranks.sort()
+        items = []
+        merged = list(self.reference)
+        for offset, rank in enumerate(ranks):
+            key = _midpoint(merged, rank + offset)
+            items.append((rank, key))
+            merged.insert(rank + offset - 1, key)
+        self._compare(
+            self.slab.insert_batch(items), self.vector.insert_batch(items)
+        )
+        self.reference = merged
+
+    @rule(data=st.data())
+    def split_burst(self, data):
+        """Hammer one rank until at least one shard split fires."""
+        rank = data.draw(
+            st.integers(1, len(self.reference) + 1), label="burst rank"
+        )
+        splits_before = self.slab.splits
+        for _ in range(SHARD_CAPACITY):
+            key = _midpoint(self.reference, rank)
+            self._compare(
+                self.slab.insert(rank, key), self.vector.insert(rank, key)
+            )
+            self.reference.insert(rank - 1, key)
+            if self.slab.splits > splits_before:
+                break
+
+    @precondition(lambda self: self.reference)
+    @rule(data=st.data())
+    def vector_reads_match(self, data):
+        size = len(self.reference)
+        rank = data.draw(st.integers(1, size), label="read rank")
+        assert self.vector.select(rank) == self.reference[rank - 1]
+        span = data.draw(st.integers(1, 20), label="read span")
+        hi = min(size, rank + span - 1)
+        assert (
+            self.vector.cursor(rank).take(hi - rank + 1)
+            == self.reference[rank - 1 : hi]
+        )
+
+    @invariant()
+    def twins_identical(self):
+        self.vector.check_consistency()
+        assert self.vector.elements() == self.reference
+        assert self.vector.labels() == self.slab.labels()
+        assert self.vector.physical_backend == "vector"
+        assert self.slab.physical_backend == "slab"
+        def layout(labeler):
+            return [
+                (
+                    list(shard.physical.slots()),
+                    list(shard.physical.kinds()),
+                    list(shard.inner_embedding.physical.slots()),
+                    list(shard.inner_embedding.physical.kinds()),
+                )
+                for shard in labeler.shards
+            ]
+
+        assert layout(self.vector) == layout(self.slab)
+
+
 _settings = settings(
     max_examples=12, stateful_step_count=30, deadline=None
 )
@@ -393,3 +518,7 @@ TestPackedMemoryMapMachine.settings = _settings
 
 TestParallelTwinMachine = ParallelTwinMachine.TestCase
 TestParallelTwinMachine.settings = _settings
+
+if vector_available():
+    TestVectorTwinMachine = VectorTwinMachine.TestCase
+    TestVectorTwinMachine.settings = _settings
